@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Several figures are different views of the same (service, load) runs
+(exactly as in the paper, where one 30 s measurement feeds Figs. 10-19),
+so characterization cells are cached per session: the first benchmark to
+need a cell pays for it, later ones reuse it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import characterize
+from repro.experiments.characterize import default_duration_us
+
+#: Queries per measured window in benchmark mode (paper: 30 s windows;
+#: scaled for simulation wall-time).
+BENCH_MIN_QUERIES = 250
+
+#: The paper's three loads.
+BENCH_LOADS = (100.0, 1_000.0, 10_000.0)
+
+
+@pytest.fixture(scope="session")
+def char_cache():
+    """Session-wide cache of characterization cells."""
+    cache = {}
+
+    def get(service: str, qps: float, seed: int = 0, **kwargs):
+        key = (service, qps, seed, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            cache[key] = characterize(
+                service,
+                qps,
+                scale="small",
+                seed=seed,
+                duration_us=default_duration_us(qps, BENCH_MIN_QUERIES),
+                **kwargs,
+            )
+        return cache[key]
+
+    return get

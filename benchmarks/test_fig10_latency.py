@@ -1,0 +1,73 @@
+"""Fig. 10 benchmark: end-to-end response latency across loads.
+
+Regenerates the per-service latency-vs-load series and checks the
+paper's claims:
+
+* median latency at 100 QPS exceeds the median at 1 000 QPS (the paper
+  measures up to 1.45×);
+* tail latency grows with load;
+* worst-case end-to-end tails stay bounded (paper: ≤ ~22 ms).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_LOADS
+from repro.suite.registry import SERVICE_NAMES
+
+_INFLATION = {}
+_P99_GROWTH = {}
+
+
+@pytest.mark.parametrize("service", SERVICE_NAMES)
+def test_fig10_latency_vs_load(benchmark, char_cache, service):
+    def run():
+        return {qps: char_cache(service, qps) for qps in BENCH_LOADS}
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    low, mid, high = (cells[qps] for qps in BENCH_LOADS)
+
+    rows = []
+    for qps in BENCH_LOADS:
+        e2e = cells[qps].e2e
+        rows.append(
+            f"{int(qps):>6} QPS: p50={e2e.median:7.0f}us p95={e2e.percentile(95):7.0f}us "
+            f"p99={e2e.percentile(99):7.0f}us max={e2e.max:7.0f}us n={cells[qps].completed}"
+        )
+    print(f"\nFig10 {service}:\n  " + "\n  ".join(rows))
+
+    ratio = low.e2e.median / mid.e2e.median
+    _INFLATION[service] = ratio
+    benchmark.extra_info["median_inflation_100_vs_1k"] = round(ratio, 2)
+    benchmark.extra_info["p99_at_10k_us"] = round(high.e2e.percentile(99))
+
+    _P99_GROWTH[service] = high.e2e.percentile(99) / max(low.e2e.percentile(99), 1e-9)
+
+    # The low-load median is never *better* than the 1K-QPS median...
+    assert ratio > 0.97, f"low-load median unexpectedly lower: {ratio:.2f}"
+    assert ratio < 2.0
+    # The worst case grows with load, and the p99 never materially shrinks
+    # (at low load, stacked C-state exits give even the p99 a floor).
+    assert high.e2e.max > low.e2e.max
+    assert _P99_GROWTH[service] > 0.8
+    # Worst case bounded: paper sees <= ~22 ms end-to-end.
+    assert high.e2e.max < 22_000.0
+
+
+def test_fig10_low_load_inflation_across_services(benchmark):
+    """...and for compute-heavy services it is clearly higher — the paper
+    measures 'up to 1.45x' as a maximum across its services."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _INFLATION:
+        pytest.skip("per-service latency benchmarks did not run")
+    assert max(_INFLATION.values()) > 1.08
+
+
+def test_fig10_p99_grows_with_load_for_most_services(benchmark):
+    """Tail latency increases with load (paper Fig. 10): strict p99 growth
+    for at least three of the four services (the fourth, Set Algebra,
+    saturates far above 10K QPS, so its 10K queueing is mild)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_P99_GROWTH) < 4:
+        pytest.skip("per-service latency benchmarks did not all run")
+    growing = sum(1 for g in _P99_GROWTH.values() if g > 1.0)
+    assert growing >= 3, _P99_GROWTH

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: build one µSuite service, drive it, read the probes.
+
+Builds HDSearch (content-based image similarity search) as a complete
+three-tier deployment — load generator → mid-tier → four leaf shards —
+on the simulated OS/network substrate, runs one second of open-loop
+Poisson load, and prints what the paper's measurement stack would show:
+end-to-end latency percentiles, the mid-tier's syscall profile, and the
+OS-overhead breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.characterize import OVERHEAD_KINDS
+from repro.loadgen.client import E2E_HIST
+from repro.suite import SCALES, SimCluster, build_service
+from repro.suite.cluster import run_open_loop
+
+
+def main() -> None:
+    # 1. A cluster: simulation clock + network fabric + telemetry probes.
+    cluster = SimCluster(seed=42)
+
+    # 2. A complete HDSearch deployment: synthetic image-embedding corpus,
+    #    auto-tuned LSH index on the mid-tier, four distance-computation
+    #    leaf shards, all wired over the simulated RPC framework.
+    service = build_service("hdsearch", cluster, SCALES["small"])
+    print(f"built {service.name}: mid-tier={service.midtier_name}, "
+          f"{len(service.leaves)} leaf shards")
+
+    # 3. One second of open-loop Poisson load at 1 000 QPS (the paper's
+    #    middle operating point), with warm-up trimmed.
+    result = run_open_loop(cluster, service, qps=1_000.0, duration_us=1_000_000)
+    e2e = cluster.telemetry.hist(E2E_HIST)
+    print(f"\ncompleted {result.completed} queries at {result.throughput_qps:.0f} QPS")
+    print(f"end-to-end latency: p50={e2e.median:.0f}us "
+          f"p95={e2e.percentile(95):.0f}us p99={e2e.percentile(99):.0f}us")
+
+    # 4. The paper's syscount view: futex dominates (Fig. 11).
+    print("\nmid-tier syscalls per query (eBPF syscount equivalent):")
+    for name, per_query in sorted(
+        result.syscalls_per_query().items(), key=lambda kv: -kv[1]
+    )[:6]:
+        print(f"  {name:>12}: {per_query:6.1f}")
+
+    # 5. The paper's OS-overhead view: Active-Exe dominates (Fig. 15).
+    telemetry = cluster.telemetry
+    mid = service.midtier_name
+    print("\nmid-tier OS overhead p99 (us):")
+    for kind in OVERHEAD_KINDS:
+        if kind == "active_exe":
+            hist = telemetry.runqlat[mid]
+        elif kind == "net":
+            hist = telemetry.hist(f"net_rpc:{mid}")
+        else:
+            hist = telemetry.irq_hist(mid, kind)
+        print(f"  {kind:>10}: {hist.percentile(99):8.1f}")
+
+    # 6. Contention counters (Fig. 19): HITM exceeds context switches.
+    cs = telemetry.context_switches[mid]
+    hitm = telemetry.hitm[mid]
+    print(f"\ncontext switches={cs}  HITM={hitm}  (HITM/CS={hitm / cs:.2f})")
+
+
+if __name__ == "__main__":
+    main()

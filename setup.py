@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no `wheel` package, so PEP-517
+editable installs (`pip install -e .`) cannot build a wheel.  This shim lets
+`python setup.py develop` (and `pip install -e . --no-build-isolation` on
+newer toolchains) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

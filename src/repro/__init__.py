@@ -1,0 +1,24 @@
+"""uSuite reproduction: microservice benchmarks on a simulated OS.
+
+A from-scratch reproduction of *uSuite: A Benchmark Suite for
+Microservices* (Sriraman & Wenisch, IISWC 2018).  Start at
+:mod:`repro.suite` for the public API::
+
+    from repro.suite import SCALES, SimCluster, build_service
+    from repro.suite.cluster import run_open_loop
+
+    cluster = SimCluster(seed=0)
+    service = build_service("hdsearch", cluster, SCALES["small"])
+    result = run_open_loop(cluster, service, qps=1_000.0, duration_us=1_000_000)
+    print(result.e2e.summary())
+
+See README.md for the architecture map, DESIGN.md for the
+paper-to-substitute inventory, and EXPERIMENTS.md for paper-vs-measured
+results on every figure.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Akshitha Sriraman and Thomas F. Wenisch. "
+    "uSuite: A Benchmark Suite for Microservices. IISWC 2018."
+)

@@ -1,0 +1,22 @@
+"""Synthetic dataset generators.
+
+Each generator substitutes for a dataset the paper uses but that is not
+redistributable here, preserving the statistical properties the service
+algorithms are sensitive to (DESIGN.md §2):
+
+* :mod:`repro.data.features` — clustered feature vectors standing in for
+  Inception-V3 embeddings of Google Open Images (HDSearch).
+* :mod:`repro.data.kvtrace` — Zipfian key-value operations mimicking the
+  "Twitter" dataset under YCSB workload A's 50/50 get/set mix (Router).
+* :mod:`repro.data.documents` — Zipf-vocabulary documents and queries
+  standing in for the 4.3 M WikiText corpus (Set Algebra).
+* :mod:`repro.data.ratings` — a latent-factor user-item rating matrix
+  standing in for MovieLens (Recommend).
+"""
+
+from repro.data.documents import DocumentCorpus
+from repro.data.features import FeatureCorpus
+from repro.data.kvtrace import KeyValueTrace, KvOp
+from repro.data.ratings import RatingsDataset
+
+__all__ = ["DocumentCorpus", "FeatureCorpus", "KeyValueTrace", "KvOp", "RatingsDataset"]

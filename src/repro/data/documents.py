@@ -1,0 +1,99 @@
+"""Zipf-vocabulary document corpus and query generator for Set Algebra.
+
+Substitutes for the paper's 4.3 M WikiText documents.  What the set
+intersection cares about is the term-frequency distribution — posting-list
+lengths under Zipf's law span orders of magnitude, and the hottest terms
+become stop words.  Queries are generated from the same word-occurrence
+probabilities, matching the paper's methodology ("10 K queries based on
+Wikipedia's word occurrence probabilities", each query ≤ 10 words).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class DocumentCorpus:
+    """Documents as term-id sets, drawn from a Zipfian vocabulary."""
+
+    def __init__(
+        self,
+        n_documents: int = 4000,
+        vocabulary_size: int = 5000,
+        mean_doc_terms: int = 120,
+        zipf_s: float = 1.05,
+        seed: int = 0,
+    ):
+        if n_documents <= 0 or vocabulary_size <= 0:
+            raise ValueError("n_documents and vocabulary_size must be positive")
+        self.n_documents = n_documents
+        self.vocabulary_size = vocabulary_size
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** zipf_s for rank in range(vocabulary_size)]
+        total = sum(weights)
+        self.term_probability = [w / total for w in weights]
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for p in self.term_probability:
+            cumulative += p
+            self._cdf.append(cumulative)
+        self.documents: List[frozenset] = []
+        for _ in range(n_documents):
+            length = max(5, int(self._rng.expovariate(1.0 / mean_doc_terms)))
+            terms = {self._draw_term() for _ in range(length)}
+            self.documents.append(frozenset(terms))
+
+    def _draw_term(self) -> int:
+        u = self._rng.random()
+        lo, hi = 0, self.vocabulary_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def collection_frequency(self) -> List[int]:
+        """Occurrences of each term across the corpus (for stop lists)."""
+        counts = [0] * self.vocabulary_size
+        for doc in self.documents:
+            for term in doc:
+                counts[term] += 1
+        return counts
+
+    def stop_list(self, n_stop: int) -> frozenset:
+        """The ``n_stop`` most frequent terms (the paper's stop words)."""
+        counts = self.collection_frequency()
+        ranked = sorted(range(self.vocabulary_size), key=lambda t: -counts[t])
+        return frozenset(ranked[:n_stop])
+
+    def make_queries(self, n_queries: int, max_terms: int = 10, seed: int = 1) -> List[List[int]]:
+        """Search queries drawn from word-occurrence probabilities."""
+        rng = random.Random(seed)
+        queries = []
+        for _ in range(n_queries):
+            length = rng.randint(1, max_terms)
+            terms = set()
+            while len(terms) < length:
+                u = rng.random()
+                lo, hi = 0, self.vocabulary_size - 1
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if self._cdf[mid] < u:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                terms.add(lo)
+            queries.append(sorted(terms))
+        return queries
+
+    def matching_documents(self, terms: Sequence[int]) -> set:
+        """Ground truth: ids of documents containing *all* query terms."""
+        required = set(terms)
+        return {
+            doc_id
+            for doc_id, doc in enumerate(self.documents)
+            if required.issubset(doc)
+        }

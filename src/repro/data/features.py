@@ -1,0 +1,66 @@
+"""Clustered high-dimensional feature vectors for HDSearch.
+
+The paper represents each of 500 K Open Images with a 2048-d Inception V3
+feature vector.  LSH behaviour depends on the geometry of the embedding
+space — real image embeddings are strongly clustered — so the substitute
+is a Gaussian mixture: cluster centers drawn on the unit sphere, points
+scattered around them, everything L2-normalized (Inception embeddings are
+commonly cosine-compared, and normalization makes Euclidean and cosine
+rankings agree).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+class FeatureCorpus:
+    """A synthetic image-embedding corpus plus query sampler."""
+
+    def __init__(
+        self,
+        n_points: int = 10_000,
+        dims: int = 128,
+        n_clusters: int = 64,
+        cluster_spread: float = 0.35,
+        seed: int = 0,
+    ):
+        if n_points <= 0 or dims <= 0 or n_clusters <= 0:
+            raise ValueError("n_points, dims, n_clusters must be positive")
+        self.n_points = n_points
+        self.dims = dims
+        self.n_clusters = n_clusters
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        centers = _normalize_rows(rng.normal(size=(n_clusters, dims)))
+        assignments = rng.integers(0, n_clusters, size=n_points)
+        noise = rng.normal(scale=cluster_spread, size=(n_points, dims))
+        self.vectors = _normalize_rows(centers[assignments] + noise).astype(np.float64)
+        self.cluster_of = assignments
+
+    def query(self, near_point: int | None = None, spread: float = 0.15) -> np.ndarray:
+        """A query vector near a corpus point (content-similar image)."""
+        if near_point is None:
+            near_point = int(self._rng.integers(0, self.n_points))
+        base = self.vectors[near_point]
+        jittered = base + self._rng.normal(scale=spread, size=self.dims)
+        return _normalize_rows(jittered[None, :])[0]
+
+    def query_set(self, n_queries: int, spread: float = 0.15) -> np.ndarray:
+        """A reproducible batch of query vectors."""
+        return np.stack([self.query(spread=spread) for _ in range(n_queries)])
+
+    def brute_force_knn(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Ground-truth k nearest neighbors by exact Euclidean scan."""
+        diffs = self.vectors - query[None, :]
+        dists = np.einsum("ij,ij->i", diffs, diffs)
+        order = np.argsort(dists)[:k]
+        return order, np.sqrt(dists[order])

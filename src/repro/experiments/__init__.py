@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+One module per artifact (see DESIGN.md §4 for the index):
+
+==========================  ====================================================
+Module                       Paper artifact
+==========================  ====================================================
+``fig09_saturation``         Fig. 9 — saturation throughput per service
+``fig10_latency``            Fig. 10 — end-to-end latency vs load
+``fig11_14_syscalls``        Figs. 11-14 — syscall invocations per query
+``fig15_18_os_overheads``    Figs. 15-18 — OS/network latency breakdowns
+``fig19_contention``         Fig. 19 — context switches and HITM counts
+``sched_policy_ab``          §VI headline — scheduler-policy tail degradation
+``ablation_block_poll``      §VII — blocking vs polling reception
+``ablation_inline_dispatch`` §VII — in-line vs dispatched processing
+``ablation_poolsize``        §VII — thread-pool sizing
+==========================  ====================================================
+
+All of them sit on :mod:`repro.experiments.characterize`, which runs one
+service at one offered load and extracts every probe the paper reports.
+"""
+
+from repro.experiments.characterize import CharacterizationResult, characterize
+
+__all__ = ["CharacterizationResult", "characterize"]

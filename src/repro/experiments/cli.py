@@ -1,0 +1,329 @@
+"""``usuite``: command-line front-end for regenerating the paper's artifacts.
+
+Examples::
+
+    usuite fig9
+    usuite fig10 --services hdsearch router
+    usuite syscalls --services setalgebra --loads 100 1000
+    usuite overheads
+    usuite fig19
+    usuite headline
+    usuite block-poll --service hdsearch
+    usuite inline-dispatch --service router
+    usuite poolsize --service setalgebra --qps 5000
+    usuite all            # every artifact, in order (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.suite.registry import SERVICE_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="small", help="scale name (small, unit)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-queries", type=int, default=600,
+        help="measured queries per cell (longer = tighter tails)",
+    )
+
+
+def _add_services(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--services", nargs="+", choices=SERVICE_NAMES, default=list(SERVICE_NAMES)
+    )
+
+
+def _add_loads(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loads", nargs="+", type=float, default=[100.0, 1_000.0, 10_000.0]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="usuite",
+        description="Regenerate the tables and figures of 'uSuite: A Benchmark "
+        "Suite for Microservices' (IISWC 2018) on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig9", help="saturation throughput per service")
+    _add_common(p)
+    _add_services(p)
+    p.add_argument("--duration-us", type=float, default=400_000.0)
+
+    p = sub.add_parser("fig10", help="end-to-end latency across loads")
+    _add_common(p)
+    _add_services(p)
+    _add_loads(p)
+    p.add_argument("--plot", action="store_true",
+                   help="render the latency distributions as text violins")
+
+    p = sub.add_parser("syscalls", help="Figs 11-14: syscall profile")
+    _add_common(p)
+    _add_services(p)
+    _add_loads(p)
+
+    p = sub.add_parser("overheads", help="Figs 15-18: OS overhead breakdown")
+    _add_common(p)
+    _add_services(p)
+    _add_loads(p)
+    p.add_argument("--plot", action="store_true",
+                   help="render the overhead distributions as text violins")
+
+    p = sub.add_parser("fig19", help="context switches and HITM")
+    _add_common(p)
+    _add_services(p)
+    _add_loads(p)
+
+    p = sub.add_parser("headline", help="scheduler policy A/B + ablation")
+    _add_common(p)
+    _add_services(p)
+    p.add_argument("--loads", nargs="+", type=float, default=[1_000.0, 10_000.0])
+
+    p = sub.add_parser("block-poll", help="blocking vs polling reception")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    _add_loads(p)
+
+    p = sub.add_parser("inline-dispatch", help="in-line vs dispatched processing")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    _add_loads(p)
+
+    p = sub.add_parser("poolsize", help="worker thread-pool sweep")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--qps", type=float, default=5_000.0)
+    p.add_argument("--workers", nargs="+", type=int, default=[1, 2, 4, 8, 16, 32])
+
+    p = sub.add_parser("adaptive", help="adaptive runtime vs static block/poll")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--loads", nargs="+", type=float, default=[100.0, 1_000.0, 8_000.0])
+
+    p = sub.add_parser("compression", help="posting-list codec trade-off")
+    _add_common(p)
+
+    p = sub.add_parser("sweep", help="latency vs offered load (hockey stick)")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--loads", nargs="+", type=float, default=None)
+
+    p = sub.add_parser("trace", help="sampled distributed traces of one service")
+    _add_common(p)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--qps", type=float, default=1_000.0)
+    p.add_argument("--sample-every", type=int, default=20)
+    p.add_argument("--show", type=int, default=3, help="slowest traces to render")
+
+    p = sub.add_parser("all", help="every artifact in sequence (slow)")
+    _add_common(p)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "fig9":
+        from repro.experiments.fig09_saturation import format_fig09, run_fig09
+
+        results = run_fig09(
+            services=args.services, scale=args.scale, seed=args.seed,
+            duration_us=args.duration_us,
+        )
+        print("Fig. 9 — saturation throughput")
+        print(format_fig09(results))
+
+    elif command == "fig10":
+        from repro.experiments.fig10_latency import (
+            format_fig10, low_load_median_inflation, run_fig10,
+        )
+
+        results = run_fig10(
+            services=args.services, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print("Fig. 10 — end-to-end latency across loads")
+        print(format_fig10(results))
+        for service, by_load in results.items():
+            if 100.0 in by_load and 1_000.0 in by_load:
+                ratio = low_load_median_inflation(by_load)
+                print(f"{service}: median(100 QPS) / median(1K QPS) = {ratio:.2f}x")
+        if getattr(args, "plot", False):
+            from repro.experiments.plots import render_distributions
+
+            for service, by_load in results.items():
+                print(f"\n{service} end-to-end latency (violin strips):")
+                print(render_distributions({
+                    f"@{int(qps)} QPS": cell.e2e.samples()
+                    for qps, cell in sorted(by_load.items())
+                }))
+
+    elif command == "syscalls":
+        from repro.experiments.fig11_14_syscalls import (
+            format_syscall_profile, run_fig11_14,
+        )
+
+        results = run_fig11_14(
+            services=args.services, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        for service, by_load in results.items():
+            print(format_syscall_profile(service, by_load))
+            print()
+
+    elif command == "overheads":
+        from repro.experiments.fig15_18_os_overheads import (
+            format_overheads, run_fig15_18,
+        )
+
+        results = run_fig15_18(
+            services=args.services, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        for service, by_load in results.items():
+            print(format_overheads(service, by_load))
+            if getattr(args, "plot", False):
+                from repro.experiments.characterize import OVERHEAD_KINDS
+                from repro.experiments.plots import render_distributions
+
+                for qps, cell in sorted(by_load.items()):
+                    print(f"\n{service} @{int(qps)} QPS (violin strips):")
+                    print(render_distributions({
+                        kind: cell.overheads[kind].samples()
+                        for kind in OVERHEAD_KINDS
+                    }))
+            print()
+
+    elif command == "fig19":
+        from repro.experiments.fig19_contention import format_fig19, run_fig19
+
+        results = run_fig19(
+            services=args.services, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print("Fig. 19 — context switches and HITM")
+        print(format_fig19(results))
+
+    elif command == "headline":
+        from repro.experiments.sched_policy_ab import format_headline, run_headline
+
+        results = run_headline(
+            services=args.services, loads=args.loads, scale=args.scale, seed=args.seed,
+        )
+        print("Headline — non-optimal scheduler tail degradation")
+        print(format_headline(results))
+
+    elif command == "block-poll":
+        from repro.experiments.ablation_block_poll import format_block_poll, run_block_poll
+
+        results = run_block_poll(
+            service_name=args.service, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print(f"Ablation — blocking vs polling ({args.service})")
+        print(format_block_poll(results))
+
+    elif command == "inline-dispatch":
+        from repro.experiments.ablation_inline_dispatch import (
+            format_inline_dispatch, run_inline_dispatch,
+        )
+
+        results = run_inline_dispatch(
+            service_name=args.service, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print(f"Ablation — in-line vs dispatch ({args.service})")
+        print(format_inline_dispatch(results))
+
+    elif command == "poolsize":
+        from repro.experiments.ablation_poolsize import format_poolsize, run_poolsize
+
+        results = run_poolsize(
+            service_name=args.service, worker_counts=args.workers, qps=args.qps,
+            scale=args.scale, seed=args.seed, min_queries=args.min_queries,
+        )
+        print(f"Ablation — worker pool sweep ({args.service} @ {args.qps:g} QPS)")
+        print(format_poolsize(results))
+
+    elif command == "adaptive":
+        from repro.experiments.ablation_adaptive import (
+            format_adaptive_ablation, run_adaptive_ablation,
+        )
+
+        results = run_adaptive_ablation(
+            service_name=args.service, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print(f"Extension — adaptive vs static reception ({args.service})")
+        print(format_adaptive_ablation(results))
+
+    elif command == "compression":
+        from repro.experiments.ablation_compression import (
+            format_compression_ablation, run_compression_ablation,
+        )
+
+        results = run_compression_ablation(scale=args.scale, seed=args.seed)
+        print("Ablation — posting-list compression (Set Algebra indexes)")
+        print(format_compression_ablation(results))
+
+    elif command == "sweep":
+        from repro.experiments.load_sweep import (
+            format_load_sweep, knee_load, run_load_sweep,
+        )
+
+        results = run_load_sweep(
+            service_name=args.service, loads=args.loads, scale=args.scale,
+            seed=args.seed, min_queries=args.min_queries,
+        )
+        print(f"Load sweep — {args.service}")
+        print(format_load_sweep(results))
+        print(f"knee (p99 > 2x floor) at ~{knee_load(results):g} QPS")
+
+    elif command == "trace":
+        from repro.experiments.characterize import default_duration_us
+        from repro.suite import SCALES, SimCluster, build_service
+        from repro.suite.cluster import run_open_loop
+        from repro.telemetry.tracing import Tracer
+
+        cluster = SimCluster(seed=args.seed)
+        service = build_service(args.service, cluster, SCALES[args.scale])
+        tracer = Tracer(sample_every=args.sample_every)
+        run_open_loop(
+            cluster, service, qps=args.qps,
+            duration_us=default_duration_us(args.qps, args.min_queries),
+            tracer=tracer,
+        )
+        cluster.shutdown()
+        print(f"{len(tracer.finished)} sampled traces ({args.service} @ {args.qps:g} QPS)")
+        print("\nmean per-span breakdown (us):")
+        for name, mean_us in sorted(tracer.breakdown_summary().items(),
+                                    key=lambda kv: -kv[1]):
+            print(f"  {name:<20} {mean_us:9.1f}")
+        slowest = sorted(tracer.finished, key=lambda t: -t.total_us)[: args.show]
+        for trace in slowest:
+            print()
+            print(trace.render())
+
+    elif command == "all":
+        for sub_command in (
+            ["fig9"], ["fig10"], ["syscalls"], ["overheads"], ["fig19"],
+            ["headline"], ["block-poll"], ["inline-dispatch"], ["poolsize"],
+            ["adaptive"],
+        ):
+            main(sub_command + ["--scale", args.scale, "--seed", str(args.seed)])
+            print()
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

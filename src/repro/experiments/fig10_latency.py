@@ -1,0 +1,77 @@
+"""Fig. 10: end-to-end response latency across loads.
+
+The paper plots violin distributions of end-to-end (mid-tier + leaves)
+latency at 100 / 1 000 / 10 000 QPS for every service, and highlights two
+effects this module verifies:
+
+* tail latency grows with load, but
+* **median latency at 100 QPS is up to ~1.45× higher than at 1 000 QPS**
+  (deeper C-states and downclocked cores at low load), and
+* worst-case end-to-end tails stay bounded (≤ ~22 ms in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.characterize import (
+    CharacterizationResult,
+    PAPER_LOADS,
+    characterize,
+    default_duration_us,
+)
+from repro.experiments.tables import render_table
+from repro.suite import ServiceScale
+from repro.suite.registry import SERVICE_NAMES
+
+
+def run_fig10(
+    services: Optional[Iterable[str]] = None,
+    loads: Iterable[float] = PAPER_LOADS,
+    scale: ServiceScale | str = "small",
+    seed: int = 0,
+    min_queries: int = 600,
+) -> Dict[str, Dict[float, CharacterizationResult]]:
+    """Latency distributions for every (service, load) cell."""
+    results: Dict[str, Dict[float, CharacterizationResult]] = {}
+    for name in services or SERVICE_NAMES:
+        results[name] = {}
+        for qps in loads:
+            results[name][qps] = characterize(
+                name,
+                qps,
+                scale=scale,
+                seed=seed,
+                duration_us=default_duration_us(qps, min_queries),
+            )
+    return results
+
+
+def format_fig10(results: Dict[str, Dict[float, CharacterizationResult]]) -> str:
+    """Fig. 10 as a table of latency percentiles (µs) per load."""
+    rows = []
+    for service, by_load in results.items():
+        for qps, cell in sorted(by_load.items()):
+            e2e = cell.e2e
+            rows.append(
+                (
+                    service,
+                    int(qps),
+                    round(e2e.median),
+                    round(e2e.percentile(95)),
+                    round(e2e.percentile(99)),
+                    round(e2e.max or 0),
+                    cell.completed,
+                )
+            )
+    return render_table(
+        ("service", "load QPS", "p50 us", "p95 us", "p99 us", "max us", "queries"),
+        rows,
+    )
+
+
+def low_load_median_inflation(by_load: Dict[float, CharacterizationResult]) -> float:
+    """The paper's headline ratio: median at 100 QPS / median at 1 000 QPS."""
+    low = by_load[100.0].e2e.median
+    mid = by_load[1_000.0].e2e.median
+    return low / mid if mid > 0 else 0.0

@@ -1,0 +1,87 @@
+"""Figs. 11-14: OS system-call invocations per query, by service and load.
+
+The paper's finding, which this module verifies: ``futex`` is the most-
+invoked syscall for every service, and — counter-intuitively — futex
+invocations *per query* are highest at **low** load, because parked
+thread pools thundering-herd awake (and deadline waits re-fire) on every
+sparse arrival.  ``sendmsg`` / ``recvmsg`` / ``epoll_pwait`` follow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.characterize import (
+    CharacterizationResult,
+    PAPER_LOADS,
+    characterize,
+    default_duration_us,
+)
+from repro.experiments.tables import render_table
+from repro.suite import ServiceScale
+from repro.suite.registry import SERVICE_NAMES
+
+#: Figure number per service, as in the paper.
+FIGURE_OF = {"hdsearch": 11, "router": 12, "setalgebra": 13, "recommend": 14}
+
+#: Syscalls the paper's figures break out, in their x-axis order.
+REPORTED_SYSCALLS = (
+    "mprotect", "openat", "brk", "sendmsg", "epoll_pwait", "write", "read",
+    "recvmsg", "close", "futex", "clone", "mmap", "munmap",
+)
+
+
+def run_syscall_profile(
+    service_name: str,
+    loads: Iterable[float] = PAPER_LOADS,
+    scale: ServiceScale | str = "small",
+    seed: int = 0,
+    min_queries: int = 600,
+) -> Dict[float, CharacterizationResult]:
+    """One service's syscall profile across loads."""
+    return {
+        qps: characterize(
+            service_name,
+            qps,
+            scale=scale,
+            seed=seed,
+            duration_us=default_duration_us(qps, min_queries),
+        )
+        for qps in loads
+    }
+
+
+def run_fig11_14(
+    services: Optional[Iterable[str]] = None,
+    loads: Iterable[float] = PAPER_LOADS,
+    scale: ServiceScale | str = "small",
+    seed: int = 0,
+    min_queries: int = 600,
+) -> Dict[str, Dict[float, CharacterizationResult]]:
+    """All four figures' data."""
+    return {
+        name: run_syscall_profile(name, loads, scale, seed, min_queries)
+        for name in (services or SERVICE_NAMES)
+    }
+
+
+def format_syscall_profile(
+    service_name: str, by_load: Dict[float, CharacterizationResult]
+) -> str:
+    """One figure as a table: rows = syscalls, columns = loads."""
+    loads = sorted(by_load)
+    headers = ["syscall"] + [f"per query @{int(qps)}" for qps in loads]
+    rows = []
+    for syscall in REPORTED_SYSCALLS:
+        row = [syscall]
+        for qps in loads:
+            row.append(round(by_load[qps].syscalls_per_query.get(syscall, 0.0), 2))
+        rows.append(row)
+    fig = FIGURE_OF.get(service_name, "?")
+    return f"Fig. {fig} — {service_name} syscalls per query\n" + render_table(headers, rows)
+
+
+def dominant_syscall(cell: CharacterizationResult) -> str:
+    """The most-invoked syscall in one (service, load) cell."""
+    profile = cell.syscalls_per_query
+    return max(profile, key=profile.get) if profile else ""

@@ -1,0 +1,72 @@
+"""Fig. 19: context switches and thread contention (HITM) across loads.
+
+The paper counts mid-tier context switches (``perf``) and HITM events
+(Intel hit-Modified PEBS, a proxy for true-sharing lock contention) over
+the measurement window at 100 / 1 000 / 10 000 QPS, finding that both
+grow with load and that **HITM counts exceed context-switch counts** —
+woken thread herds contend on socket locks more often than they switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.experiments.characterize import (
+    CharacterizationResult,
+    PAPER_LOADS,
+    characterize,
+    default_duration_us,
+)
+from repro.experiments.tables import render_table
+from repro.suite import ServiceScale
+from repro.suite.registry import SERVICE_NAMES
+
+
+def run_fig19(
+    services: Optional[Iterable[str]] = None,
+    loads: Iterable[float] = PAPER_LOADS,
+    scale: ServiceScale | str = "small",
+    seed: int = 0,
+    min_queries: int = 600,
+) -> Dict[str, Dict[float, CharacterizationResult]]:
+    """Contention counters for every (service, load) cell."""
+    return {
+        name: {
+            qps: characterize(
+                name,
+                qps,
+                scale=scale,
+                seed=seed,
+                duration_us=default_duration_us(qps, min_queries),
+            )
+            for qps in loads
+        }
+        for name in (services or SERVICE_NAMES)
+    }
+
+
+def rates_per_second(cell: CharacterizationResult) -> Tuple[float, float]:
+    """(context switches, HITM) per second of measured window."""
+    seconds = cell.duration_us / 1e6
+    return cell.context_switches / seconds, cell.hitm / seconds
+
+
+def format_fig19(results: Dict[str, Dict[float, CharacterizationResult]]) -> str:
+    """Fig. 19 as a table (counts normalized per second; the paper's
+    absolute counts are per 30 s window on real silicon)."""
+    rows = []
+    for service, by_load in results.items():
+        for qps, cell in sorted(by_load.items()):
+            cs_rate, hitm_rate = rates_per_second(cell)
+            rows.append(
+                (
+                    service,
+                    int(qps),
+                    round(cs_rate),
+                    round(hitm_rate),
+                    f"{hitm_rate / cs_rate:.2f}" if cs_rate else "-",
+                )
+            )
+    return render_table(
+        ("service", "load QPS", "CS/s", "HITM/s", "HITM/CS"), rows
+    )

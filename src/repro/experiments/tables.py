@@ -1,0 +1,32 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(value.rjust(width) for value, width in zip(row, widths))
+        lines.append(line)
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,72 @@
+"""A discrete-event simulated operating system.
+
+This package substitutes for the Linux 4.13 kernel on the paper's Skylake
+testbed (DESIGN.md §2).  It models the pieces of the OS whose sub-millisecond
+costs the paper characterizes:
+
+* :mod:`repro.kernel.machine` — a multicore machine with NIC and sockets.
+* :mod:`repro.kernel.scheduler` — CFS-like run queues, context switches,
+  C-state idle model, and pluggable wakeup placement policies.
+* :mod:`repro.kernel.threads` — simulated threads written as generators of
+  kernel operations.
+* :mod:`repro.kernel.futex` — futexes plus the userspace ``Mutex`` and
+  ``CondVar`` built on them (the source of the paper's futex storms).
+* :mod:`repro.kernel.sockets` — sockets, epoll (wake-all), and eventfds.
+* :mod:`repro.kernel.interrupts` — hardirq/softirq pipelines with latency
+  sampling and CPU stealing.
+"""
+
+from repro.kernel.config import CStatePoint, MachineSpec, OsCosts
+from repro.kernel.futex import CondVar, Futex, Mutex
+from repro.kernel.machine import Machine
+from repro.kernel.ops import (
+    Compute,
+    EpollWait,
+    EventfdRead,
+    EventfdWrite,
+    FutexWait,
+    FutexWake,
+    Nanosleep,
+    SockRecv,
+    SockSend,
+    YieldCpu,
+)
+from repro.kernel.scheduler import (
+    PlacementPolicy,
+    RandomPlacement,
+    Scheduler,
+    WakeAffinityPlacement,
+    WorstFitPlacement,
+)
+from repro.kernel.sockets import Epoll, Eventfd, KSocket
+from repro.kernel.threads import SimThread, ThreadState
+
+__all__ = [
+    "CStatePoint",
+    "CondVar",
+    "Compute",
+    "Epoll",
+    "EpollWait",
+    "Eventfd",
+    "EventfdRead",
+    "EventfdWrite",
+    "Futex",
+    "FutexWait",
+    "FutexWake",
+    "KSocket",
+    "Machine",
+    "MachineSpec",
+    "Mutex",
+    "Nanosleep",
+    "OsCosts",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "Scheduler",
+    "SimThread",
+    "SockRecv",
+    "SockSend",
+    "ThreadState",
+    "WakeAffinityPlacement",
+    "WorstFitPlacement",
+    "YieldCpu",
+]

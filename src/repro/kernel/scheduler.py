@@ -1,0 +1,655 @@
+"""CFS-like multicore scheduler with pluggable wakeup placement policies.
+
+The paper's primary finding is that *non-optimal OS scheduler decisions can
+degrade microservice tail latency by up to ~87 %*, with the dominant
+overhead being Active→Exe time (the ``runqlat`` wait between a thread
+becoming runnable and actually executing).  This scheduler reproduces the
+mechanisms behind that finding:
+
+* per-core run queues ordered by virtual runtime, with timeslice
+  preemption and context-switch costs;
+* a C-state idle model: the longer a core idled, the more expensive the
+  wakeup — which is why the paper sees *higher median latency at 100 QPS
+  than at 1 000 QPS* (Fig. 10);
+* pluggable placement policies: :class:`WakeAffinityPlacement` models a
+  well-behaved scheduler, while :class:`RandomPlacement` and
+  :class:`WorstFitPlacement` model the non-optimal decisions the paper
+  blames for tail degradation (queueing a woken thread behind busy cores).
+
+The scheduler is also the kernel-op interpreter: it pulls operations from
+thread generators, charges their costs against core time, and implements
+their semantics (futex queues, epoll readiness, eventfd counters).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.kernel.config import OsCosts
+from repro.kernel.futex import AtomicAccess, WAKE_ALL
+from repro.kernel.ops import (
+    Compute,
+    EpollWait,
+    EventfdRead,
+    EventfdWrite,
+    FutexWait,
+    FutexWake,
+    Nanosleep,
+    SockRecv,
+    SockSend,
+    YieldCpu,
+)
+from repro.kernel.threads import SimThread, ThreadState
+from repro.sim.core import Simulation
+from repro.sim.rng import lognormal_from_median_sigma
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.machine import Machine
+
+#: Minimum slice a preempting compute still receives, in microseconds.
+MIN_GRANULARITY_US = 0.5
+
+
+class Core:
+    """One logical CPU: a run queue plus the currently executing thread."""
+
+    __slots__ = (
+        "index",
+        "runqueue",
+        "current",
+        "idle_since",
+        "slice_end",
+        "dispatch_pending",
+        "busy_call",
+        "busy_until",
+        "rq_seq",
+        "busy_since_tick",
+        "freq_factor",
+        "socket",
+    )
+
+    def __init__(self, index: int, socket: int = 0):
+        self.index = index
+        self.runqueue: List[tuple] = []  # heap of (vruntime, seq, thread)
+        self.current: Optional[SimThread] = None
+        self.idle_since: Optional[float] = 0.0
+        self.slice_end = 0.0
+        self.dispatch_pending = False
+        self.busy_call = None
+        self.busy_until = 0.0
+        self.rq_seq = 0
+        self.busy_since_tick = False
+        # DVFS state: 1.0 = full clock, dvfs_min_factor = deepest idle clock.
+        self.freq_factor = 1.0
+        # NUMA socket this core sits on.
+        self.socket = socket
+
+    @property
+    def load(self) -> int:
+        """Run-queue depth plus the running thread (for least-loaded picks)."""
+        return len(self.runqueue) + (1 if self.current is not None else 0)
+
+    def push(self, thread: SimThread) -> None:
+        """Enqueue a runnable thread ordered by virtual runtime."""
+        self.rq_seq += 1
+        heapq.heappush(self.runqueue, (thread.vruntime, self.rq_seq, thread))
+
+    def pop(self) -> Optional[SimThread]:
+        """Dequeue the minimum-vruntime runnable thread."""
+        if not self.runqueue:
+            return None
+        return heapq.heappop(self.runqueue)[2]
+
+    def min_vruntime(self) -> float:
+        """Lowest vruntime present on this core (for enqueue normalization)."""
+        candidates = []
+        if self.runqueue:
+            candidates.append(self.runqueue[0][0])
+        if self.current is not None:
+            candidates.append(self.current.vruntime)
+        return min(candidates) if candidates else 0.0
+
+
+class PlacementPolicy:
+    """Decides which core a woken thread is enqueued on."""
+
+    name = "abstract"
+
+    def choose_core(self, thread: SimThread, cores: Sequence[Core], rng) -> Core:
+        """Return the core to enqueue ``thread`` on."""
+        raise NotImplementedError
+
+    def wake_delay_us(self, rng) -> float:
+        """Extra latency before the target core reacts to the wakeup."""
+        return 0.0
+
+
+class WakeAffinityPlacement(PlacementPolicy):
+    """A well-behaved scheduler: prefer the last core if idle, then an idle
+    core on the *same NUMA socket*, then any idle core, else the
+    least-loaded core.  Models Linux's wake-affine plus idle-sibling
+    search behaving well (the scheduler domain hierarchy keeps wakeups
+    socket-local when it can)."""
+
+    name = "wake-affinity"
+
+    def choose_core(self, thread: SimThread, cores: Sequence[Core], rng) -> Core:
+        last = thread.last_core
+        home_socket = None
+        if last is not None:
+            core = cores[last]
+            if core.current is None and not core.runqueue:
+                return core
+            home_socket = core.socket
+        start = last if last is not None else 0
+        n = len(cores)
+        fallback_idle = None
+        for offset in range(n):
+            core = cores[(start + offset) % n]
+            if core.current is None and not core.runqueue:
+                if home_socket is None or core.socket == home_socket:
+                    return core
+                if fallback_idle is None:
+                    fallback_idle = core
+        if fallback_idle is not None:
+            return fallback_idle
+        return min(cores, key=lambda c: (c.load, c.index))
+
+
+class RandomPlacement(PlacementPolicy):
+    """A non-optimal scheduler: place wakeups on a uniformly random core,
+    ignoring idleness — woken threads regularly queue behind busy cores."""
+
+    name = "random"
+
+    def __init__(self, wake_delay_median_us: float = 0.0, wake_delay_sigma: float = 0.6):
+        self.wake_delay_median_us = wake_delay_median_us
+        self.wake_delay_sigma = wake_delay_sigma
+
+    def choose_core(self, thread: SimThread, cores: Sequence[Core], rng) -> Core:
+        return cores[rng.randrange(len(cores))]
+
+    def wake_delay_us(self, rng) -> float:
+        if self.wake_delay_median_us <= 0:
+            return 0.0
+        return lognormal_from_median_sigma(rng, self.wake_delay_median_us, self.wake_delay_sigma)
+
+
+class WorstFitPlacement(PlacementPolicy):
+    """The adversarial scheduler for the A/B experiment: pack wakeups onto
+    the busiest cores (plus an optional reaction delay), maximizing
+    Active→Exe queueing."""
+
+    name = "worst-fit"
+
+    def __init__(self, wake_delay_median_us: float = 0.0, wake_delay_sigma: float = 0.6):
+        self.wake_delay_median_us = wake_delay_median_us
+        self.wake_delay_sigma = wake_delay_sigma
+
+    def choose_core(self, thread: SimThread, cores: Sequence[Core], rng) -> Core:
+        return max(cores, key=lambda c: (c.load, -c.index))
+
+    def wake_delay_us(self, rng) -> float:
+        if self.wake_delay_median_us <= 0:
+            return 0.0
+        return lognormal_from_median_sigma(rng, self.wake_delay_median_us, self.wake_delay_sigma)
+
+
+class Scheduler:
+    """Run queues, dispatching, and the kernel-op interpreter for one machine."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        machine: "Machine",
+        n_cores: int,
+        costs: OsCosts,
+        policy: PlacementPolicy,
+    ):
+        self.sim = sim
+        self.machine = machine
+        self.costs = costs
+        self.policy = policy
+        self.cores = [
+            Core(i, socket=machine.spec.socket_of(i)) for i in range(n_cores)
+        ]
+        self.rng = machine.rng.py(f"sched:{machine.name}")
+        self.threads: List[SimThread] = []
+        self._handlers = {
+            Compute: self._op_compute,
+            AtomicAccess: self._op_atomic,
+            FutexWait: self._op_futex_wait,
+            FutexWake: self._op_futex_wake,
+            EpollWait: self._op_epoll_wait,
+            SockSend: self._op_sock_send,
+            SockRecv: self._op_sock_recv,
+            EventfdWrite: self._op_eventfd_write,
+            EventfdRead: self._op_eventfd_read,
+            Nanosleep: self._op_nanosleep,
+            YieldCpu: self._op_yield,
+        }
+
+    # -- telemetry shorthands ------------------------------------------------
+    @property
+    def telemetry(self):
+        return self.machine.telemetry
+
+    def _count_syscall(self, name: str) -> None:
+        self.telemetry.count_syscall(self.machine.name, name)
+
+    def _softirq_sample(self, kind: str, median: float, sigma: float) -> float:
+        latency = lognormal_from_median_sigma(self.rng, median, sigma)
+        self.telemetry.record_irq(self.machine.name, kind, latency)
+        return latency
+
+    # -- thread lifecycle ------------------------------------------------------
+    def spawn(self, thread: SimThread) -> SimThread:
+        """Create a thread: charge clone/mmap/mprotect and make it runnable."""
+        for syscall in ("clone", "mmap", "mmap", "mprotect"):
+            self._count_syscall(syscall)
+        self.threads.append(thread)
+        self.make_runnable(thread)
+        return thread
+
+    def make_runnable(self, thread: SimThread) -> None:
+        """Wake path: enqueue per policy and kick the target core."""
+        if thread.state not in (ThreadState.NEW, ThreadState.BLOCKED, ThreadState.RUNNING):
+            raise RuntimeError(f"cannot wake {thread} in state {thread.state}")
+        if thread.wait_timer is not None:
+            thread.wait_timer.cancel()
+            thread.wait_timer = None
+        thread.state = ThreadState.RUNNABLE
+        thread.runnable_since = self.sim.now
+        thread.block_reason = None
+        core = self.policy.choose_core(thread, self.cores, self.rng)
+        # CFS enqueue normalization: don't let long sleepers starve others,
+        # don't let them win everything either.
+        thread.vruntime = max(thread.vruntime, core.min_vruntime() - 1000.0)
+        core.push(thread)
+        # A wakeup raises a SCHED softirq (IPI + resched bookkeeping).
+        self._softirq_sample(
+            "sched", self.costs.softirq_sched_median_us, self.costs.softirq_sched_sigma
+        )
+        self._kick(core)
+
+    def _kick(self, core: Core) -> None:
+        """Arrange a dispatch on ``core`` if it is idle and not already kicked."""
+        if core.current is not None or core.dispatch_pending or not core.runqueue:
+            return
+        core.dispatch_pending = True
+        delay = (
+            self.costs.wakeup_ipi_us
+            + self.policy.wake_delay_us(self.rng)
+            + self.costs.runq_per_waiter_us * len(core.runqueue)
+        )
+        self.sim.call_in(delay, self._dispatch, core)
+
+    def _dispatch(self, core: Core) -> None:
+        core.dispatch_pending = False
+        if core.current is not None:
+            return
+        thread = core.pop()
+        if thread is None:
+            if core.idle_since is None:
+                core.idle_since = self.sim.now
+            return
+        core.current = thread
+        if core.idle_since is not None:
+            idle_time = self.sim.now - core.idle_since
+            exit_latency, _state = self.costs.cstate_exit_latency(idle_time)
+            switch_cost = exit_latency + self.costs.runq_dispatch_us
+            core.idle_since = None
+            # DVFS: the clock decayed toward minimum while the core idled.
+            if self.costs.dvfs_enabled:
+                min_f = self.costs.dvfs_min_factor
+                decay = math.exp(-idle_time / self.costs.dvfs_decay_us)
+                core.freq_factor = min_f + (core.freq_factor - min_f) * decay
+        else:
+            switch_cost = self.costs.context_switch_us
+        self.telemetry.count_context_switch(self.machine.name)
+        core.busy_since_tick = True
+        self._occupy(core, switch_cost, self._begin_run, core, thread)
+
+    def _begin_run(self, core: Core, thread: SimThread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.last_core = core.index
+        self.telemetry.record_runqlat(
+            self.machine.name, self.sim.now - thread.runnable_since
+        )
+        core.slice_end = self.sim.now + self.costs.timeslice_us
+        if thread.pending_compute > 0.0:
+            remaining = thread.pending_compute
+            thread.pending_compute = 0.0
+            self._run_compute(core, thread, remaining)
+            return
+        hook = thread.resume_hook
+        thread.resume_hook = None
+        thread.send_value = hook() if hook is not None else thread.send_value
+        self._advance(core, thread)
+
+    def _advance(self, core: Core, thread: SimThread) -> None:
+        """Pull and interpret the thread's next kernel op."""
+        # Op-boundary preemption check.
+        if self.sim.now >= core.slice_end and core.runqueue:
+            self._preempt(core, thread, remaining_compute=0.0)
+            return
+        try:
+            op = thread.body.send(thread.send_value)
+        except StopIteration:
+            self._thread_exit(core, thread)
+            return
+        thread.send_value = None
+        handler = self._handlers.get(type(op))
+        if handler is None:
+            raise TypeError(f"{thread} yielded unknown op {op!r}")
+        handler(core, thread, op)
+
+    def _thread_exit(self, core: Core, thread: SimThread) -> None:
+        thread.state = ThreadState.DONE
+        self._switch_away(core)
+
+    def _switch_away(self, core: Core) -> None:
+        core.current = None
+        if core.runqueue:
+            self._dispatch(core)
+        else:
+            core.idle_since = self.sim.now
+
+    def _preempt(self, core: Core, thread: SimThread, remaining_compute: float) -> None:
+        thread.pending_compute = remaining_compute
+        thread.state = ThreadState.RUNNABLE
+        thread.runnable_since = self.sim.now
+        core.push(thread)  # preempted threads stay on their core
+        self._switch_away(core)
+
+    # -- core occupancy --------------------------------------------------------
+    def _occupy(self, core: Core, cost: float, then: Callable, *args) -> None:
+        """Occupy ``core`` for ``cost`` µs, then continue with ``then``."""
+        core.busy_until = self.sim.now + cost
+        core.busy_call = self.sim.call_in(cost, self._occupy_done, core, then, args)
+
+    def _occupy_done(self, core: Core, then: Callable, args: tuple) -> None:
+        core.busy_call = None
+        then(*args)
+
+    def steal_cpu(self, core_index: int, cost: float) -> None:
+        """Interrupt handling steals CPU from whatever the core is doing."""
+        core = self.cores[core_index]
+        core.busy_since_tick = True
+        call = core.busy_call
+        if call is None or call.cancelled:
+            return
+        call.cancel()
+        core.busy_until += cost
+        core.busy_call = self.sim.call_at(core.busy_until, call.fn, *call.args)
+
+    def least_busy_irq_core(self, limit: int) -> int:
+        """Index of the least-loaded core among the first ``limit`` cores."""
+        eligible = self.cores[: max(1, limit)]
+        return min(eligible, key=lambda c: (c.load, c.index)).index
+
+    # -- blocking helper ---------------------------------------------------------
+    def _block(
+        self,
+        core: Core,
+        thread: SimThread,
+        reason: str,
+        resume_hook: Optional[Callable[[], object]],
+        timeout_us: Optional[float],
+        on_timeout: Optional[Callable[[SimThread], None]],
+    ) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.block_reason = reason
+        thread.resume_hook = resume_hook
+        self._softirq_sample(
+            "block", self.costs.softirq_block_median_us, self.costs.softirq_block_sigma
+        )
+        if timeout_us is not None:
+            thread.wait_timer = self.sim.call_in(timeout_us, self._wait_timeout, thread, on_timeout)
+        self._switch_away(core)
+
+    def _wait_timeout(self, thread: SimThread, on_timeout) -> None:
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        thread.wait_timer = None
+        if on_timeout is not None:
+            on_timeout(thread)
+        self.make_runnable(thread)
+
+    # -- op handlers --------------------------------------------------------------
+    def _op_compute(self, core: Core, thread: SimThread, op: Compute) -> None:
+        self._run_compute(core, thread, op.us)
+
+    def _run_compute(self, core: Core, thread: SimThread, us: float) -> None:
+        # DVFS: application compute stretches on a downclocked core, and
+        # running warms the clock back up.
+        if self.costs.dvfs_enabled:
+            us = us / core.freq_factor
+            ramp = math.exp(-us / self.costs.dvfs_ramp_us)
+            core.freq_factor = 1.0 - (1.0 - core.freq_factor) * ramp
+        available = core.slice_end - self.sim.now
+        if us > available and core.runqueue:
+            run_for = max(available, MIN_GRANULARITY_US)
+            thread.vruntime += run_for
+            self._occupy(core, run_for, self._preempt, core, thread, us - run_for)
+        else:
+            thread.vruntime += us
+            self._occupy(core, us, self._advance, core, thread)
+
+    def _touch_cacheline(self, core: Core, line) -> float:
+        """HITM accounting for a shared-cacheline access; returns extra cost.
+
+        Cross-core accesses are HITM events; when the previous owner sat
+        on the other NUMA socket, the line crosses the interconnect —
+        counted separately and costed higher."""
+        previous = line.last_core
+        if previous is not None and previous != core.index:
+            remote = self.cores[previous].socket != core.socket
+            self.telemetry.count_hitm(self.machine.name, remote=remote)
+            line.last_core = core.index
+            return (
+                self.costs.hitm_remote_transfer_us
+                if remote
+                else self.costs.hitm_transfer_us
+            )
+        line.last_core = core.index
+        return 0.0
+
+    def _op_atomic(self, core: Core, thread: SimThread, op: AtomicAccess) -> None:
+        cost = self.costs.atomic_op_us + self._touch_cacheline(core, op.cacheline)
+        thread.vruntime += cost
+        self._occupy(core, cost, self._advance, core, thread)
+
+    def _op_futex_wait(self, core: Core, thread: SimThread, op: FutexWait) -> None:
+        self._count_syscall("futex")
+        # The kernel reads/updates the futex word: a cross-core HITM.
+        cost = self.costs.syscall_cost("futex") + self._touch_cacheline(
+            core, op.futex.cacheline
+        )
+        thread.vruntime += cost
+        self._occupy(core, cost, self._futex_wait_body, core, thread, op)
+
+    def _futex_wait_body(self, core: Core, thread: SimThread, op: FutexWait) -> None:
+        if op.futex.value != op.expected:
+            # EAGAIN: the word moved between userspace check and syscall.
+            thread.send_value = False
+            self._advance(core, thread)
+            return
+        op.futex.waiters.append(thread)
+
+        def on_timeout(t: SimThread) -> None:
+            try:
+                op.futex.waiters.remove(t)
+            except ValueError:
+                pass
+
+        self._block(
+            core,
+            thread,
+            reason="futex",
+            resume_hook=lambda: True,
+            timeout_us=op.timeout_us,
+            on_timeout=on_timeout,
+        )
+
+    def _op_futex_wake(self, core: Core, thread: SimThread, op: FutexWake) -> None:
+        self._count_syscall("futex")
+        cost = self.costs.syscall_cost("futex") + self._touch_cacheline(
+            core, op.futex.cacheline
+        )
+        thread.vruntime += cost
+        self._occupy(core, cost, self._futex_wake_body, core, thread, op)
+
+    def _futex_wake_body(self, core: Core, thread: SimThread, op: FutexWake) -> None:
+        n = min(op.n, len(op.futex.waiters)) if op.n != WAKE_ALL else len(op.futex.waiters)
+        woken = 0
+        for _ in range(n):
+            waiter = op.futex.waiters.pop(0)
+            self.make_runnable(waiter)
+            woken += 1
+        if woken:
+            self.telemetry.count_contended_wake(self.machine.name)
+        thread.send_value = woken
+        self._advance(core, thread)
+
+    def _op_epoll_wait(self, core: Core, thread: SimThread, op: EpollWait) -> None:
+        self._count_syscall("epoll_pwait")
+        cost = self.costs.syscall_cost("epoll_pwait")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._epoll_wait_body, core, thread, op)
+
+    def _epoll_wait_body(self, core: Core, thread: SimThread, op: EpollWait) -> None:
+        ready = op.epoll.snapshot_ready()
+        if ready:
+            thread.send_value = ready
+            self._advance(core, thread)
+            return
+        if op.timeout_us == 0:
+            thread.send_value = []
+            self._advance(core, thread)
+            return
+        op.epoll.waiters.append(thread)
+
+        def on_timeout(t: SimThread) -> None:
+            try:
+                op.epoll.waiters.remove(t)
+            except ValueError:
+                pass
+
+        self._block(
+            core,
+            thread,
+            reason="epoll",
+            resume_hook=op.epoll.snapshot_ready,
+            timeout_us=op.timeout_us,
+            on_timeout=on_timeout,
+        )
+
+    def wake_epoll_waiters(self, waiters: List[SimThread]) -> None:
+        """Wake-all epoll semantics (called from socket delivery)."""
+        for waiter in waiters:
+            if waiter.state is ThreadState.BLOCKED:
+                self.make_runnable(waiter)
+
+    def _op_sock_send(self, core: Core, thread: SimThread, op: SockSend) -> None:
+        self._count_syscall("sendmsg")
+        cost = self.costs.syscall_cost("sendmsg")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._sock_send_body, core, thread, op)
+
+    def _sock_send_body(self, core: Core, thread: SimThread, op: SockSend) -> None:
+        tx_latency = self._softirq_sample(
+            "net_tx", self.costs.softirq_net_tx_median_us, self.costs.softirq_net_tx_sigma
+        )
+        self.machine.transmit(op.sock, op.dst, op.payload, op.size_bytes, tx_latency)
+        thread.send_value = None
+        self._advance(core, thread)
+
+    def _op_sock_recv(self, core: Core, thread: SimThread, op: SockRecv) -> None:
+        self._count_syscall("recvmsg")
+        # The rx-queue head was last written by the delivering softirq core.
+        cost = self.costs.syscall_cost("recvmsg") + self._touch_cacheline(
+            core, op.sock.cacheline
+        )
+        thread.vruntime += cost
+        self._occupy(core, cost, self._sock_recv_body, core, thread, op)
+
+    def _sock_recv_body(self, core: Core, thread: SimThread, op: SockRecv) -> None:
+        thread.send_value = op.sock.pop()
+        self._advance(core, thread)
+
+    def _op_eventfd_write(self, core: Core, thread: SimThread, op: EventfdWrite) -> None:
+        self._count_syscall("write")
+        cost = self.costs.syscall_cost("write")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._eventfd_write_body, core, thread, op)
+
+    def _eventfd_write_body(self, core: Core, thread: SimThread, op: EventfdWrite) -> None:
+        op.efd.add(op.value)
+        if op.efd.readers:
+            reader = op.efd.readers.pop(0)
+            self.make_runnable(reader)
+        thread.send_value = None
+        self._advance(core, thread)
+
+    def _op_eventfd_read(self, core: Core, thread: SimThread, op: EventfdRead) -> None:
+        self._count_syscall("read")
+        cost = self.costs.syscall_cost("read")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._eventfd_read_body, core, thread, op)
+
+    def _eventfd_read_body(self, core: Core, thread: SimThread, op: EventfdRead) -> None:
+        if op.efd.counter > 0:
+            thread.send_value = op.efd.consume()
+            self._advance(core, thread)
+            return
+        op.efd.readers.append(thread)
+
+        def on_timeout(t: SimThread) -> None:  # pragma: no cover - unused path
+            try:
+                op.efd.readers.remove(t)
+            except ValueError:
+                pass
+
+        self._block(
+            core,
+            thread,
+            reason="eventfd",
+            resume_hook=op.efd.consume,
+            timeout_us=None,
+            on_timeout=on_timeout,
+        )
+
+    def _op_nanosleep(self, core: Core, thread: SimThread, op: Nanosleep) -> None:
+        self._count_syscall("nanosleep")
+        cost = self.costs.syscall_cost("nanosleep")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._nanosleep_body, core, thread, op)
+
+    def _nanosleep_body(self, core: Core, thread: SimThread, op: Nanosleep) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.block_reason = "nanosleep"
+        thread.resume_hook = None
+        self.sim.call_in(op.us, self._sleep_expired, thread)
+        self._switch_away(core)
+
+    def _sleep_expired(self, thread: SimThread) -> None:
+        if thread.state is ThreadState.BLOCKED:
+            self.make_runnable(thread)
+
+    def _op_yield(self, core: Core, thread: SimThread, op: YieldCpu) -> None:
+        self._count_syscall("sched_yield")
+        cost = self.costs.syscall_cost("sched_yield")
+        thread.vruntime += cost
+        self._occupy(core, cost, self._yield_body, core, thread)
+
+    def _yield_body(self, core: Core, thread: SimThread) -> None:
+        if not core.runqueue:
+            self._advance(core, thread)
+            return
+        thread.state = ThreadState.RUNNABLE
+        thread.runnable_since = self.sim.now
+        core.push(thread)
+        self._switch_away(core)

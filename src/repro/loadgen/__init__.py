@@ -1,0 +1,25 @@
+"""Load generation and latency measurement (paper §V).
+
+The paper's methodology is explicit about measurement hygiene, and so are
+we:
+
+* **closed-loop** mode establishes peak sustainable throughput (Fig. 9);
+* **open-loop** mode draws inter-arrival times from a Poisson process and
+  timestamps every query at its *scheduled* arrival, so queue buildup in
+  the service cannot suppress load — avoiding the coordinated-omission
+  problem the paper criticizes YCSB/Faban for;
+* load generators are ideal fabric endpoints on "separate hardware": they
+  consume no simulated server CPU, matching the paper's validation that
+  the load generator is never the bottleneck.
+"""
+
+from repro.loadgen.client import ClosedLoopLoadGen, OpenLoopLoadGen
+from repro.loadgen.source import CallableSource, CyclingSource, QuerySource
+
+__all__ = [
+    "CallableSource",
+    "ClosedLoopLoadGen",
+    "CyclingSource",
+    "OpenLoopLoadGen",
+    "QuerySource",
+]

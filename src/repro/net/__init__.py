@@ -1,0 +1,16 @@
+"""Simulated datacenter network fabric.
+
+Substitutes for the paper's 10 Gbit/s intra-rack network and the Linux TCP
+stack (DESIGN.md §2).  Models the behaviours the paper's probes can see:
+
+* per-packet propagation + serialization + jitter delay,
+* rare loss followed by a retransmission timeout (the paper observes only
+  a single-digit count of retransmissions per run — ours counts through
+  the ``tcpretrans`` telemetry probe),
+* delivery into a machine's NIC, which raises the hardirq → NET_RX
+  softirq pipeline.
+"""
+
+from repro.net.fabric import Fabric, LinkSpec, Packet
+
+__all__ = ["Fabric", "LinkSpec", "Packet"]

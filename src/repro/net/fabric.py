@@ -1,0 +1,127 @@
+"""The fabric: endpoints, links, packet delivery, loss and retransmission."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.core import Simulation
+from repro.sim.rng import RngStreams, exponential
+from repro.telemetry import Telemetry
+
+Address = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Delay model for one hop through the rack switch."""
+
+    # One-way base propagation + switching latency.
+    base_latency_us: float = 15.0
+    # Mean of the exponential jitter term added per packet.
+    jitter_mean_us: float = 2.0
+    # Wire speed used for serialization delay.
+    gbps: float = 10.0
+    # Per-packet loss probability (paper: single-digit retransmissions/run).
+    loss_probability: float = 2e-6
+    # Retransmission timeout (tail-loss-probe-scale, not the 200 ms RTO min).
+    rto_us: float = 5000.0
+
+    def serialization_us(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire."""
+        bits = size_bytes * 8.0
+        return bits / (self.gbps * 1000.0)  # gbps == 1000 bits/us
+
+
+@dataclass
+class Packet:
+    """One RPC-bearing datagram in flight."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    size_bytes: int
+    send_time: float
+    retransmitted: bool = False
+    extra_delay_us: float = 0.0
+
+
+class Fabric:
+    """Routes packets between registered endpoints through one rack switch.
+
+    Endpoints are either simulated machines (delivery raises the interrupt
+    pipeline) or ideal load-generator ports (direct callback — the paper
+    runs its load generators on separate, validated-uncontended hardware).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        telemetry: Telemetry,
+        rng: RngStreams,
+        link: Optional[LinkSpec] = None,
+    ):
+        self.sim = sim
+        self.telemetry = telemetry
+        self.link = link or LinkSpec()
+        self._rng = rng.py("fabric")
+        self._endpoints: Dict[str, Callable[[Packet], None]] = {}
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, name: str, deliver: Callable[[Packet], None]) -> None:
+        """Attach an endpoint; ``deliver(packet)`` runs at arrival time."""
+        if name in self._endpoints:
+            raise ValueError(f"endpoint already registered: {name}")
+        self._endpoints[name] = deliver
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (in-flight packets to it are dropped)."""
+        self._endpoints.pop(name, None)
+
+    def send(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        size_bytes: int,
+        extra_delay_us: float = 0.0,
+    ) -> Packet:
+        """Inject a packet; returns the in-flight packet object."""
+        if dst[0] not in self._endpoints:
+            raise KeyError(f"no endpoint named {dst[0]!r}")
+        packet = Packet(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            send_time=self.sim.now,
+            extra_delay_us=extra_delay_us,
+        )
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        self._transmit(packet)
+        return packet
+
+    def _transmit(self, packet: Packet) -> None:
+        link = self.link
+        if self._rng.random() < link.loss_probability and not packet.retransmitted:
+            # Single retransmission after the timeout; duplicate loss is
+            # rare enough to ignore (the paper sees single-digit counts).
+            self.telemetry.count_retransmission()
+            packet.retransmitted = True
+            self.sim.call_in(link.rto_us, self._transmit, packet)
+            return
+        delay = (
+            packet.extra_delay_us
+            + link.base_latency_us
+            + link.serialization_us(packet.size_bytes)
+            + exponential(self._rng, link.jitter_mean_us)
+        )
+        packet.extra_delay_us = 0.0
+        self.sim.call_in(delay, self._arrive, packet)
+
+    def _arrive(self, packet: Packet) -> None:
+        deliver = self._endpoints.get(packet.dst[0])
+        if deliver is not None:
+            deliver(packet)

@@ -1,0 +1,139 @@
+"""Dynamic block/poll and thread-pool adaptation (paper §VII, future work).
+
+The paper's discussion proposes two adaptation systems this module builds:
+
+* "Future microservice monitoring systems could then dynamically switch
+  between block- and poll-based designs" — blocking conserves CPU but
+  pays thread-wakeup latency; polling is the reverse.  The adaptive
+  runtime polls at low load (wakeups dominate, CPU is free) and blocks at
+  high load (CPU is precious, threads rarely sleep anyway).
+* "A user-level thread scheduler that dynamically selects suitable thread
+  pool sizes can reduce thread contention and improve scalability" — the
+  monitor resizes the *active* worker pool to track offered load, keeping
+  spare workers parked off the task-queue condvar entirely.
+
+A monitor thread samples the request arrival rate every
+``sample_interval_us`` and applies both decisions with hysteresis.
+(The authors' follow-up paper, µTune at OSDI '18, builds exactly this
+kind of framework.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kernel.machine import Machine
+from repro.kernel.ops import Nanosleep
+from repro.rpc.apps import MidTierApp
+from repro.rpc.server import MidTierRuntime, RuntimeConfig
+
+Address = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Thresholds for the monitor's decisions (all hysteretic)."""
+
+    sample_interval_us: float = 20_000.0
+    # Below this offered load, switch reception to polling (cheap CPU,
+    # big wakeup-latency win); above the high mark, back to blocking.
+    poll_below_qps: float = 800.0
+    block_above_qps: float = 2_000.0
+    # Active workers sized so each handles about this many QPS.
+    per_worker_qps: float = 700.0
+    min_workers: int = 2
+    # Parked (deactivated) workers re-check activation on this period.
+    park_check_us: float = 4_000.0
+
+
+class AdaptiveMidTierRuntime(MidTierRuntime):
+    """A mid-tier runtime with the §VII monitor attached."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        port: int,
+        app: MidTierApp,
+        leaf_addrs: Sequence[Address],
+        config: RuntimeConfig,
+        policy: Optional[AdaptivePolicy] = None,
+    ):
+        self.policy = policy or AdaptivePolicy()
+        self.active_workers = config.worker_threads
+        self.mode_switches = 0
+        self.resizes = 0
+        self.mode_history: List[Tuple[float, str]] = []
+        self.resize_history: List[Tuple[float, int]] = []
+        super().__init__(machine, port, app, leaf_addrs, config)
+        machine.spawn("adapt-monitor", self._monitor_loop())
+
+    # -- adapted worker pool -------------------------------------------------
+    def _worker_loop(self, index: int = 0):
+        while True:
+            if index >= self.active_workers:
+                # Deactivated: parked entirely off the task-queue condvar,
+                # so it adds no lock contention while idle.
+                yield Nanosleep(self.policy.park_check_us)
+                continue
+            item = yield from self.task_queue.get(
+                wait_timeout_us=self.config.worker_wait_timeout_us
+            )
+            if isinstance(item, tuple):
+                request, plan = item
+                yield from self._process(request, plan)
+            else:
+                yield from self._process(item)
+
+    # -- the monitor ------------------------------------------------------------
+    def _monitor_loop(self):
+        policy = self.policy
+        last_received = self.received
+        while True:
+            yield Nanosleep(policy.sample_interval_us)
+            received = self.received
+            rate_qps = (received - last_received) / (policy.sample_interval_us / 1e6)
+            last_received = received
+            self._adapt_reception(rate_qps)
+            self._adapt_pool(rate_qps)
+
+    def _adapt_reception(self, rate_qps: float) -> None:
+        mode = self.config.reception_mode
+        if mode == "blocking" and rate_qps < self.policy.poll_below_qps:
+            self._switch_mode("polling")
+        elif mode == "polling" and rate_qps > self.policy.block_above_qps:
+            self._switch_mode("blocking")
+
+    def _switch_mode(self, mode: str) -> None:
+        self.config = replace(self.config, reception_mode=mode)
+        self.mode_switches += 1
+        self.mode_history.append((self.machine.sim.now, mode))
+        self.machine.telemetry.incr(f"adaptive_mode_switch:{self.machine.name}")
+
+    def _adapt_pool(self, rate_qps: float) -> None:
+        policy = self.policy
+        wanted = max(
+            policy.min_workers,
+            min(
+                self.config.worker_threads,
+                int(rate_qps / policy.per_worker_qps) + 1,
+            ),
+        )
+        if wanted != self.active_workers:
+            self.active_workers = wanted
+            self.resizes += 1
+            self.resize_history.append((self.machine.sim.now, wanted))
+            self.machine.telemetry.incr(f"adaptive_resize:{self.machine.name}")
+
+
+def make_midtier_runtime(
+    machine: Machine,
+    port: int,
+    app: MidTierApp,
+    leaf_addrs: Sequence[Address],
+    config: RuntimeConfig,
+) -> MidTierRuntime:
+    """Construct the right mid-tier runtime for ``config``."""
+    if config.adaptive:
+        return AdaptiveMidTierRuntime(machine, port, app, leaf_addrs, config)
+    return MidTierRuntime(machine, port, app, leaf_addrs, config)

@@ -1,0 +1,61 @@
+"""Application interfaces the four µSuite services implement.
+
+The RPC runtimes are service-agnostic: a service plugs in a
+:class:`MidTierApp` (query → leaf fan-out plan, responses → merged reply)
+and a :class:`LeafApp` (sub-request → result).  The real algorithms (LSH
+lookup, SpookyHash routing, posting-list intersection, collaborative
+filtering) run natively inside these callbacks; each returns the modeled
+CPU time the runtime charges to the simulated core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+
+@dataclass
+class FanoutPlan:
+    """Mid-tier request path: compute charge plus per-leaf sub-requests."""
+
+    compute_us: float
+    # (leaf index, sub-request payload, wire size in bytes) triples.
+    subrequests: List[Tuple[int, Any, int]]
+
+
+@dataclass
+class MergeResult:
+    """Mid-tier response path: compute charge plus the merged reply."""
+
+    compute_us: float
+    payload: Any
+    size_bytes: int
+
+
+@dataclass
+class LeafResult:
+    """Leaf handler outcome: compute charge plus the reply."""
+
+    compute_us: float
+    payload: Any
+    size_bytes: int
+
+
+class MidTierApp:
+    """Service logic hosted by a :class:`~repro.rpc.server.MidTierRuntime`."""
+
+    def fanout(self, query: Any) -> FanoutPlan:
+        """Process one query and plan its leaf fan-out."""
+        raise NotImplementedError
+
+    def merge(self, query: Any, responses: Sequence[Any]) -> MergeResult:
+        """Merge leaf responses into the final reply."""
+        raise NotImplementedError
+
+
+class LeafApp:
+    """Service logic hosted by a :class:`~repro.rpc.server.LeafRuntime`."""
+
+    def handle(self, request: Any) -> LeafResult:
+        """Serve one leaf sub-request."""
+        raise NotImplementedError

@@ -1,0 +1,373 @@
+"""The leaf and mid-tier RPC runtimes (paper §IV, Fig. 8).
+
+Both runtimes are thread-pool based.  The mid-tier runtime is the paper's
+object of study: it is simultaneously an RPC server (to the front-end) and
+an RPC client (to every leaf), with three thread pools:
+
+``network pollers``  block on (or poll) the front-end socket, then
+                     dispatch requests onto the task queue;
+``workers``          park on the task-queue condvar, run the service's
+                     request path (e.g. the LSH lookup), and launch the
+                     asynchronous leaf fan-out;
+``response threads`` block on the leaf-response socket, count-down merge
+                     responses; the last one runs the service's merge and
+                     replies to the front-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernel.machine import Machine
+from repro.kernel.ops import Compute, EpollWait, SockRecv, SockSend
+from repro.kernel.futex import Mutex
+from repro.rpc.apps import LeafApp, MidTierApp
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.queue import TaskQueue
+
+Address = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Thread-pool sizing and the §VII design-space knobs."""
+
+    network_threads: int = 2
+    worker_threads: int = 8
+    response_threads: int = 4
+    # "blocking" parks pollers in epoll_pwait; "polling" spins (§VII).
+    reception_mode: str = "blocking"
+    # "dispatch" hands requests to workers; "inline" runs them in the
+    # network thread (§VII in-line vs dispatch trade-off).
+    processing_mode: str = "dispatch"
+    # Spin granularity charged per empty poll in polling mode (coarse
+    # relative to a real poll loop, to bound simulator event counts; the
+    # latency effect — readiness noticed within poll_interval rather than
+    # after a thread wakeup — is preserved).
+    poll_interval_us: float = 5.0
+    # gRPC-style deadline waits: blocked epoll_pwait and condvar waits
+    # re-wake on these timeouts even with no work, which is why the paper
+    # measures the highest futex/epoll counts *per query* at low load.
+    reception_timeout_us: float = 5000.0
+    worker_wait_timeout_us: float = 2000.0
+    # Run the request-path compute (parse + route) in the network thread
+    # *under the completion-queue lock*, McRouter-style.  The lock then
+    # bounds throughput, and contention on it floods futex at high load —
+    # Router's configuration.
+    parse_in_network_thread: bool = False
+    # Enable the §VII adaptation the paper proposes as future work: a
+    # monitor switches reception between blocking and polling and resizes
+    # the active worker pool as offered load moves (see repro.rpc.adaptive).
+    adaptive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.reception_mode not in ("blocking", "polling"):
+            raise ValueError(f"bad reception_mode: {self.reception_mode}")
+        if self.processing_mode not in ("dispatch", "inline"):
+            raise ValueError(f"bad processing_mode: {self.processing_mode}")
+
+
+class _RuntimeBase:
+    """Socket + poller plumbing shared by leaf and mid-tier runtimes."""
+
+    def __init__(self, machine: Machine, port: int, config: RuntimeConfig):
+        self.machine = machine
+        self.config = config
+        self.server_sock = machine.socket(port)
+        self.server_epoll = machine.epoll()
+        self.server_epoll.add(self.server_sock)
+        self._timeout_rng = machine.rng.py(f"rpc:{port}:timeouts")
+        # Requests received off the front-end socket (adaptation signal).
+        self.received = 0
+
+    def _jittered(self, timeout_us: float) -> float:
+        """Jitter deadline waits so pool re-wakes don't synchronize."""
+        return timeout_us * (0.5 + self._timeout_rng.random())
+
+    @property
+    def address(self) -> Address:
+        """The address front-ends / mid-tiers send requests to."""
+        return self.server_sock.address
+
+    def _reception_wait(self):
+        """Generator: one blocking or polling wait on the server epoll."""
+        if self.config.reception_mode == "blocking":
+            ready = yield EpollWait(
+                self.server_epoll, timeout_us=self._jittered(self.config.reception_timeout_us)
+            )
+        else:
+            ready = yield EpollWait(self.server_epoll, timeout_us=0)
+            if not ready:
+                # Burn CPU for one spin interval, as a poll loop would.
+                yield Compute(self.config.poll_interval_us, tag="spin")
+        return ready
+
+    def _poller_loop(self):
+        """Network thread: receive requests and dispatch or serve them.
+
+        Like a gRPC completion-queue poller, each thread takes *one*
+        message per poll round and loops back to epoll (level-triggered),
+        so bursts spread across the pool instead of serializing behind
+        whichever thread woke first.  The socket lock (gRPC's
+        completion-queue mutex) is held through work distribution, as in
+        gRPC — under load, contention on it is a major futex source.
+        """
+        while True:
+            ready = yield from self._reception_wait()
+            for sock in ready:
+                yield from sock.lock.acquire()
+                message = yield SockRecv(sock)
+                if message is not None:
+                    self.received += 1
+                    if self.config.processing_mode == "dispatch":
+                        yield from self._enqueue(message)
+                yield from sock.lock.release()
+                if message is not None and self.config.processing_mode == "inline":
+                    yield from self._serve_inline(message)
+
+    def _enqueue(self, request: RpcRequest):
+        """Dispatch mode: hand the request to the worker pool."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _serve_inline(self, request: RpcRequest):
+        """In-line mode: run the handler in the network thread."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class LeafRuntime(_RuntimeBase):
+    """A leaf microserver: serves sub-requests from mid-tiers."""
+
+    def __init__(self, machine: Machine, port: int, app: LeafApp, config: RuntimeConfig):
+        super().__init__(machine, port, config)
+        self.app = app
+        self.task_queue = TaskQueue(machine, name=f"{machine.name}.leafq")
+        for i in range(config.network_threads):
+            machine.spawn(f"netpoll{i}", self._poller_loop())
+        if config.processing_mode == "dispatch":
+            for i in range(config.worker_threads):
+                machine.spawn(f"worker{i}", self._worker_loop())
+
+    def _enqueue(self, request: RpcRequest):
+        yield from self.task_queue.put(request)
+
+    def _serve_inline(self, request: RpcRequest):
+        yield from self._serve(request)
+
+    def _worker_loop(self, index: int = 0):
+        while True:
+            request = yield from self.task_queue.get(
+                wait_timeout_us=self.config.worker_wait_timeout_us
+            )
+            yield from self._serve(request)
+
+    def _serve(self, request: RpcRequest):
+        self.machine.alloc_tick()
+        serve_start = request.arrive_time or self.machine.sim.now
+        result = self.app.handle(request.payload)
+        yield Compute(result.compute_us, tag="leaf-compute")
+        response = RpcResponse(
+            request_id=request.request_id,
+            payload=result.payload,
+            size_bytes=result.size_bytes,
+            parent_id=request.parent_id,
+            client_start=request.client_start,
+        )
+        # Carry the downstream hop's wire time back for Net accounting.
+        response.upstream_net_us = request.net_us
+        if request.trace is not None:
+            request.trace.record(
+                f"leaf:{self.machine.name}", self.machine.name,
+                serve_start, self.machine.sim.now,
+            )
+        yield SockSend(self.server_sock, request.reply_to, response, result.size_bytes)
+
+
+class _PendingRequest:
+    """Fan-out bookkeeping for one in-flight mid-tier request."""
+
+    __slots__ = ("request", "expected", "responses", "arrival", "request_path_us")
+
+    def __init__(self, request: RpcRequest, expected: int, arrival: float):
+        self.request = request
+        self.expected = expected
+        self.responses: List[RpcResponse] = []
+        self.arrival = arrival
+        # Mid-tier request-path latency: query arrival → fan-out sent.
+        self.request_path_us = 0.0
+
+
+class MidTierRuntime(_RuntimeBase):
+    """The mid-tier microserver: RPC server and fan-out RPC client at once."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        port: int,
+        app: MidTierApp,
+        leaf_addrs: Sequence[Address],
+        config: RuntimeConfig,
+    ):
+        super().__init__(machine, port, config)
+        self.app = app
+        self.leaf_addrs = list(leaf_addrs)
+        self.task_queue = TaskQueue(machine, name=f"{machine.name}.midq")
+        # Client side: one socket receiving every leaf response.
+        self.client_sock = machine.socket(port + 1)
+        self.client_epoll = machine.epoll()
+        self.client_epoll.add(self.client_sock)
+        # Connection setup to each leaf (openat per channel, like a TCP connect).
+        for _ in self.leaf_addrs:
+            machine.count_syscall("openat")
+        self.pending: Dict[int, _PendingRequest] = {}
+        self.pending_mutex = Mutex(f"{machine.name}.pending")
+        self.completed = 0
+        for i in range(config.network_threads):
+            machine.spawn(f"netpoll{i}", self._poller_loop())
+        if config.processing_mode == "dispatch":
+            for i in range(config.worker_threads):
+                machine.spawn(f"worker{i}", self._worker_loop(i))
+        for i in range(config.response_threads):
+            machine.spawn(f"resp{i}", self._response_loop())
+
+    # -- request path ------------------------------------------------------
+    def _enqueue(self, request: RpcRequest):
+        if request.trace is not None:
+            request.trace.begin("queue_wait", self.machine.name, self.machine.sim.now)
+        if self.config.parse_in_network_thread:
+            # McRouter-style: parse + route computation runs right here,
+            # under the completion-queue lock the caller holds.
+            self.machine.alloc_tick()
+            plan = self.app.fanout(request.payload)
+            yield Compute(plan.compute_us, tag="midtier-request")
+            yield from self.task_queue.put((request, plan))
+        else:
+            yield from self.task_queue.put(request)
+
+    def _serve_inline(self, request: RpcRequest):
+        yield from self._process(request)
+
+    def _worker_loop(self, index: int = 0):
+        while True:
+            item = yield from self.task_queue.get(
+                wait_timeout_us=self.config.worker_wait_timeout_us
+            )
+            if isinstance(item, tuple):
+                request, plan = item
+                yield from self._process(request, plan)
+            else:
+                yield from self._process(item)
+
+    def _process(self, request: RpcRequest, plan=None):
+        """Request path: service compute, then asynchronous leaf fan-out."""
+        if request.trace is not None:
+            request.trace.end_last("queue_wait", self.machine.sim.now)
+        if plan is None:
+            self.machine.alloc_tick()
+            plan = self.app.fanout(request.payload)
+            yield Compute(plan.compute_us, tag="midtier-request")
+        arrival = request.arrive_time or self.machine.sim.now
+        if not plan.subrequests:
+            # Degenerate fan-out (e.g. LSH found no candidates): merge empty.
+            entry = _PendingRequest(request, expected=0, arrival=arrival)
+            entry.request_path_us = self.machine.sim.now - arrival
+            yield from self._finish(entry, [], last_arrival=self.machine.sim.now)
+            return
+        entry = _PendingRequest(request, expected=len(plan.subrequests), arrival=arrival)
+        yield from self.pending_mutex.acquire()
+        self.pending[request.request_id] = entry
+        yield from self.pending_mutex.release()
+        for leaf_index, payload, size_bytes in plan.subrequests:
+            sub = RpcRequest(
+                method="leaf",
+                payload=payload,
+                size_bytes=size_bytes,
+                reply_to=self.client_sock.address,
+                parent_id=request.request_id,
+                client_start=request.client_start,
+            )
+            sub.trace = request.trace  # propagate the sampled trace
+            yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
+        entry.request_path_us = self.machine.sim.now - arrival
+        if request.trace is not None:
+            request.trace.record(
+                "request_path", self.machine.name, arrival, self.machine.sim.now
+            )
+
+    # -- response path -----------------------------------------------------
+    def _response_loop(self):
+        while True:
+            ready = yield EpollWait(
+                self.client_epoll, timeout_us=self._jittered(self.config.reception_timeout_us)
+            )
+            for sock in ready:
+                # One response per poll round (see _poller_loop): the
+                # count-down stashes spread across the response pool and
+                # only the last response thread does the merge — which runs
+                # *outside* the socket lock so merges never serialize.
+                yield from sock.lock.acquire()
+                message = yield SockRecv(sock)
+                completed = None
+                if message is not None:
+                    completed = yield from self._countdown(message)
+                yield from sock.lock.release()
+                if completed is not None:
+                    entry, last_arrival = completed
+                    yield from self._finish(entry, entry.responses, last_arrival)
+
+    def _countdown(self, response: RpcResponse):
+        """Stash one leaf response; returns (entry, arrival) when last."""
+        if response.arrive_time is not None:
+            # Socket-queue dwell + wakeup until a response thread picks it up.
+            self.machine.telemetry.record(
+                f"resp_pickup_delay:{self.machine.name}",
+                self.machine.sim.now - response.arrive_time,
+            )
+        yield from self.pending_mutex.acquire()
+        entry = self.pending.get(response.parent_id)
+        is_last = False
+        if entry is not None:
+            entry.responses.append(response)
+            is_last = len(entry.responses) >= entry.expected
+            if is_last:
+                del self.pending[response.parent_id]
+        yield from self.pending_mutex.release()
+        if entry is None or not is_last:
+            return None
+        return entry, response.arrive_time or self.machine.sim.now
+
+    def _finish(self, entry: _PendingRequest, responses: List[RpcResponse], last_arrival: float):
+        request = entry.request
+        merged = self.app.merge(request.payload, [r.payload for r in responses])
+        yield Compute(merged.compute_us, tag="midtier-merge")
+        reply = RpcResponse(
+            request_id=request.request_id,
+            payload=merged.payload,
+            size_bytes=merged.size_bytes,
+            client_start=request.client_start,
+        )
+        net_us = request.net_us + sum(r.net_us + r.upstream_net_us for r in responses)
+        reply.upstream_net_us = net_us
+        telemetry = self.machine.telemetry
+        telemetry.record(f"net_rpc:{self.machine.name}", net_us)
+        now = self.machine.sim.now
+        # The paper's "Net mid-tier latency" (Figs. 15-18, category 8): the
+        # mid-tier server's own contribution — request path (arrival →
+        # fan-out sent) plus response path (final leaf response arrival →
+        # reply sent) — excluding time spent waiting on leaves.
+        response_path_us = now - last_arrival
+        telemetry.record(f"midtier_reqpath:{self.machine.name}", entry.request_path_us)
+        telemetry.record(f"midtier_resppath:{self.machine.name}", response_path_us)
+        telemetry.record(
+            f"midtier_latency:{self.machine.name}",
+            entry.request_path_us + response_path_us,
+        )
+        # Full span (arrival → reply) kept for saturation diagnostics.
+        telemetry.record(f"midtier_span:{self.machine.name}", now - entry.arrival)
+        if request.trace is not None:
+            request.trace.record("response_path", self.machine.name, last_arrival, now)
+            reply.trace = request.trace  # carried back to the client
+        self.completed += 1
+        yield SockSend(self.server_sock, request.reply_to, reply, merged.size_bytes)

@@ -1,0 +1,16 @@
+"""The four µSuite OLDI services (paper §III).
+
+Each subpackage implements the service's real algorithms plus its
+:class:`~repro.rpc.apps.MidTierApp` / :class:`~repro.rpc.apps.LeafApp`
+glue and a ``build_<service>`` function wiring a full three-tier
+deployment onto a :class:`~repro.suite.cluster.SimCluster`:
+
+* :mod:`repro.services.hdsearch` — content-based image similarity search
+  (LSH mid-tier, distance-computation leaves);
+* :mod:`repro.services.router` — replication-based protocol routing for
+  memcached-style key-value stores (SpookyHash mid-tier, store leaves);
+* :mod:`repro.services.setalgebra` — posting-list set algebra for
+  document retrieval (skip-list inverted-index leaves, union mid-tier);
+* :mod:`repro.services.recommend` — user-based collaborative-filtering
+  recommender (NMF + all-kNN leaves, averaging mid-tier).
+"""

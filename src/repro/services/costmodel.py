@@ -1,0 +1,52 @@
+"""Linear CPU-time cost models shared by the four services.
+
+Absolute service times in the paper come from real Skylake silicon running
+real code; a simulator needs an explicit model.  Each service charges
+
+    compute_us = base_us + per_unit_us × work_units
+
+where *work_units* are measured from the real algorithm run (candidate
+vectors × dims scanned, posting-list elements merged, ...).  The per-unit
+cost is **calibrated** at build time so the *mean* compute matches the
+scale's target (itself chosen to land saturation at the paper's Fig. 9
+numbers), while the distribution's shape comes from genuine per-query
+variation in the algorithm's work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """``compute_us = base_us + per_unit_us * units``."""
+
+    base_us: float
+    per_unit_us: float
+
+    def __call__(self, units: float) -> float:
+        return self.base_us + self.per_unit_us * units
+
+    @classmethod
+    def calibrated(
+        cls,
+        target_mean_us: float,
+        sample_units: Sequence[float],
+        base_fraction: float = 0.25,
+    ) -> "LinearCost":
+        """A cost model whose mean over ``sample_units`` hits the target.
+
+        ``base_fraction`` of the target is a fixed per-request cost
+        (deserialization, bookkeeping); the rest scales with work units.
+        """
+        if target_mean_us <= 0:
+            raise ValueError("target_mean_us must be positive")
+        if not 0.0 <= base_fraction < 1.0:
+            raise ValueError("base_fraction must be in [0, 1)")
+        mean_units = sum(sample_units) / len(sample_units) if sample_units else 0.0
+        base = target_mean_us * base_fraction
+        if mean_units <= 0:
+            return cls(base_us=target_mean_us, per_unit_us=0.0)
+        return cls(base_us=base, per_unit_us=(target_mean_us - base) / mean_units)

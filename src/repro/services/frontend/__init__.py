@@ -1,0 +1,24 @@
+"""Front-end presentation microservices (paper §III, Figs. 2/5/6/7).
+
+The paper describes each service's front-end tier but explicitly does not
+study it ("HDSearch's front-end presentation microservice is not studied
+in this work; we describe its components only to provide brief context").
+This package builds those described components anyway, so the suite is a
+complete three-tier system:
+
+* :mod:`repro.services.frontend.rediskv` — the Redis-like structure store
+  the paper's front-end uses twice (feature-vector cache, image-ID→URL
+  store), including the blocking ``BLPOP`` its §IV cites as the canonical
+  block-based design;
+* :mod:`repro.services.frontend.features` — the feature-extraction stage
+  (a deterministic stand-in for Inception V3; DESIGN.md §2);
+* :mod:`repro.services.frontend.hdsearch_frontend` — HDSearch's Fig. 2
+  pipeline: cache lookup → extraction → mid-tier query → response-image
+  lookup → page construction.
+"""
+
+from repro.services.frontend.features import FeatureExtractor
+from repro.services.frontend.hdsearch_frontend import HdSearchFrontend
+from repro.services.frontend.rediskv import RedisLikeStore
+
+__all__ = ["FeatureExtractor", "HdSearchFrontend", "RedisLikeStore"]

@@ -1,0 +1,71 @@
+"""The front-end feature-extraction stage.
+
+The paper extracts a 2048-d Inception V3 feature vector from each query
+image with TensorFlow.  Neither TensorFlow nor image data is available
+here, so the extractor is a deterministic stand-in (DESIGN.md §2): it
+maps arbitrary "image bytes" to a fixed-dimension unit vector through a
+seeded random projection of the byte histogram.  What matters for the
+front-end pipeline is preserved — extraction is *expensive* (the paper
+caches its results in Redis for exactly that reason), deterministic per
+image, and produces vectors in the same space as the corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+import numpy as np
+
+
+class FeatureExtractor:
+    """Deterministic image-bytes → feature-vector mapping."""
+
+    def __init__(self, dims: int, seed: int = 0, extraction_cost_us: float = 40_000.0):
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        self.dims = dims
+        # A fixed projection: 256 byte-histogram bins → dims.
+        rng = np.random.default_rng(seed)
+        self._projection = rng.normal(size=(dims, 256))
+        # Inception-V3-scale inference cost (tens of ms on CPU).
+        self.extraction_cost_us = extraction_cost_us
+
+    def cache_key(self, image_bytes: bytes) -> str:
+        """A content hash identifying the image in the vector cache."""
+        return "featvec:" + hashlib.sha256(image_bytes).hexdigest()[:24]
+
+    def extract(self, image_bytes: bytes) -> np.ndarray:
+        """The feature vector for an image (deterministic)."""
+        histogram = np.bincount(
+            np.frombuffer(image_bytes, dtype=np.uint8), minlength=256
+        ).astype(float)
+        norm = np.linalg.norm(histogram)
+        if norm > 0:
+            histogram /= norm
+        vector = self._projection @ histogram
+        vector_norm = np.linalg.norm(vector)
+        return vector / vector_norm if vector_norm > 0 else vector
+
+    @staticmethod
+    def encode(vector: np.ndarray) -> str:
+        """Serialize a vector for cache storage."""
+        return ",".join(f"{x:.9e}" for x in vector)
+
+    @staticmethod
+    def decode(serialized: str) -> np.ndarray:
+        """Deserialize a cached vector."""
+        if not serialized:
+            return np.array([])
+        return np.array([float(part) for part in serialized.split(",")])
+
+
+def synthetic_image(corpus_vector: np.ndarray, seed: int = 0, size: int = 4096) -> Tuple[bytes, np.ndarray]:
+    """A fake "image" whose extracted features land near ``corpus_vector``.
+
+    Used by examples/tests to exercise the cache → extract → search
+    pipeline without real images: returns (image_bytes, planted_vector).
+    """
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+    return image, corpus_vector

@@ -1,0 +1,10 @@
+"""HDSearch: content-based image similarity search (paper §III-A)."""
+
+from repro.services.hdsearch.lsh import LshIndex, tune_lsh
+from repro.services.hdsearch.service import (
+    HdSearchLeafApp,
+    HdSearchMidTierApp,
+    build_hdsearch,
+)
+
+__all__ = ["HdSearchLeafApp", "HdSearchMidTierApp", "LshIndex", "build_hdsearch", "tune_lsh"]

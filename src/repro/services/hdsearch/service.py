@@ -1,0 +1,182 @@
+"""HDSearch's microservices and deployment builder (paper §III-A).
+
+Pipeline (paper Fig. 3): the mid-tier looks the query vector up in its
+in-memory LSH tables, maps candidate point ids to leaf shards, and fans
+an RPC out to each leaf holding candidates.  Leaves compute exact
+Euclidean distances over their candidate lists and return distance-sorted
+top-k; the mid-tier k-way merges them into the global k-NN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.features import FeatureCorpus
+from repro.loadgen import CyclingSource
+from repro.rpc import (
+    FanoutPlan,
+    LeafApp,
+    LeafResult,
+    MergeResult,
+    MidTierApp,
+    LeafRuntime,
+)
+from repro.rpc.adaptive import make_midtier_runtime
+from repro.services.costmodel import LinearCost
+from repro.services.hdsearch.lsh import LshIndex, tune_lsh
+from repro.suite.cluster import ServiceHandle, SimCluster
+from repro.suite.config import ServiceScale
+
+#: Wire overhead per RPC beyond the payload proper.
+_HEADER_BYTES = 48
+
+
+class HdSearchLeafApp(LeafApp):
+    """A leaf shard: exact distance computation over candidate lists."""
+
+    def __init__(self, vectors: np.ndarray, leaf_index: int, n_leaves: int, cost: LinearCost):
+        # Shard by point id modulo leaf count; local row = id // n_leaves.
+        self.leaf_index = leaf_index
+        self.n_leaves = n_leaves
+        self.shard = np.ascontiguousarray(vectors[leaf_index::n_leaves])
+        self.dims = vectors.shape[1]
+        self.cost = cost
+
+    def handle(self, request) -> LeafResult:
+        _tag, query_vec, point_ids, k = request
+        if point_ids:
+            local_rows = np.fromiter(
+                (pid // self.n_leaves for pid in point_ids), dtype=np.int64
+            )
+            candidates = self.shard[local_rows]
+            diffs = candidates - query_vec[None, :]
+            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            order = np.argsort(dists)[:k]
+            top = [(int(point_ids[i]), float(dists[i])) for i in order]
+        else:
+            top = []
+        units = len(point_ids) * self.dims
+        size = _HEADER_BYTES + 16 * len(top)
+        return LeafResult(compute_us=self.cost(units), payload=top, size_bytes=size)
+
+
+class HdSearchMidTierApp(MidTierApp):
+    """The mid-tier: LSH lookup, shard mapping, fan-out, k-way merge."""
+
+    def __init__(self, index: LshIndex, k: int, request_cost: LinearCost, merge_cost: LinearCost):
+        self.index = index
+        self.k = k
+        self.request_cost = request_cost
+        self.merge_cost = merge_cost
+
+    def fanout(self, query) -> FanoutPlan:
+        _tag, query_vec = query
+        per_leaf = self.index.candidates(query_vec)
+        total_candidates = sum(len(ids) for ids in per_leaf.values())
+        vec_bytes = 8 * self.index.dims
+        subrequests: List[Tuple[int, object, int]] = []
+        for leaf, ids in per_leaf.items():
+            payload = ("knn", query_vec, ids, self.k)
+            size = _HEADER_BYTES + vec_bytes + 8 * len(ids)
+            subrequests.append((leaf, payload, size))
+        return FanoutPlan(
+            compute_us=self.request_cost(total_candidates),
+            subrequests=subrequests,
+        )
+
+    def merge(self, query, responses: Sequence[List[Tuple[int, float]]]) -> MergeResult:
+        merged: List[Tuple[int, float]] = []
+        for leaf_top in responses:
+            merged.extend(leaf_top)
+        merged.sort(key=lambda pair: pair[1])
+        top_k = merged[: self.k]
+        units = sum(len(r) for r in responses)
+        return MergeResult(
+            compute_us=self.merge_cost(units),
+            payload=top_k,
+            size_bytes=_HEADER_BYTES + 16 * len(top_k),
+        )
+
+
+def build_hdsearch(
+    cluster: SimCluster,
+    scale: ServiceScale,
+    midtier_policy=None,
+    name_prefix: str = "hds",
+) -> ServiceHandle:
+    """Wire a complete HDSearch deployment onto ``cluster``."""
+    seed = cluster.rng.py(f"{name_prefix}:dataset").randrange(2**31)
+    corpus = FeatureCorpus(
+        n_points=scale.hds_points, dims=scale.hds_dims, seed=seed
+    )
+    queries = corpus.query_set(scale.n_queries)
+    # Tune LSH exactly as the paper does: minimum candidate volume that
+    # still clears the 93% accuracy bar.  The tuner targets a slightly
+    # higher bar on its sample so unseen queries still clear 93%.
+    tuning_sample = queries[: min(60, len(queries))]
+    index = tune_lsh(
+        corpus.vectors,
+        n_leaves=scale.n_leaves,
+        queries=tuning_sample,
+        target_accuracy=0.96,
+        seed=seed + 1,
+    )
+
+    # Self-calibrate cost models on a sample of the real query workload.
+    sample = queries[: min(200, len(queries))]
+    leaf_units: List[float] = []
+    mid_units: List[float] = []
+    for query_vec in sample:
+        per_leaf = index.candidates(query_vec)
+        mid_units.append(sum(len(ids) for ids in per_leaf.values()))
+        leaf_units.extend(len(ids) * corpus.dims for ids in per_leaf.values())
+    leaf_cost = LinearCost.calibrated(scale.target_leaf_service_us["hdsearch"], leaf_units)
+    request_cost = LinearCost.calibrated(
+        scale.target_midtier_service_us["hdsearch"] * 0.75, mid_units
+    )
+    merge_cost = LinearCost.calibrated(
+        scale.target_midtier_service_us["hdsearch"] * 0.25,
+        [scale.hds_k * scale.n_leaves],
+    )
+
+    leaves: List[LeafRuntime] = []
+    for i in range(scale.n_leaves):
+        machine = cluster.machine(f"{name_prefix}-leaf{i}", cores=scale.leaf_cores)
+        app = HdSearchLeafApp(corpus.vectors, i, scale.n_leaves, leaf_cost)
+        leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
+
+    mid_machine = cluster.machine(
+        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy
+    )
+    mid_app = HdSearchMidTierApp(index, scale.hds_k, request_cost, merge_cost)
+    midtier = make_midtier_runtime(
+        mid_machine,
+        port=40,
+        app=mid_app,
+        leaf_addrs=[leaf.address for leaf in leaves],
+        config=scale.midtier_runtime,
+    )
+
+    vec_bytes = _HEADER_BYTES + 8 * corpus.dims
+    query_set = [(("query", vec), vec_bytes) for vec in queries]
+
+    def accuracy(query_vec: np.ndarray, reported: List[Tuple[int, float]]) -> float:
+        """Paper's metric: cosine similarity of reported NN vs ground truth."""
+        if not reported:
+            return 0.0
+        true_ids, _ = corpus.brute_force_knn(query_vec, k=1)
+        reported_vec = corpus.vectors[reported[0][0]]
+        true_vec = corpus.vectors[true_ids[0]]
+        denom = np.linalg.norm(reported_vec) * np.linalg.norm(true_vec)
+        return float(reported_vec @ true_vec / denom) if denom else 0.0
+
+    return ServiceHandle(
+        name="hdsearch",
+        midtier=midtier,
+        midtier_machine=mid_machine,
+        leaves=leaves,
+        make_source=lambda: CyclingSource(query_set),
+        extras={"corpus": corpus, "index": index, "accuracy": accuracy},
+    )

@@ -1,0 +1,18 @@
+"""Recommend: user-based collaborative-filtering recommender (§III-D)."""
+
+from repro.services.recommend.knn import AllKnnPredictor
+from repro.services.recommend.nmf import nmf_factorize, reconstruction_rmse
+from repro.services.recommend.service import (
+    RecommendLeafApp,
+    RecommendMidTierApp,
+    build_recommend,
+)
+
+__all__ = [
+    "AllKnnPredictor",
+    "RecommendLeafApp",
+    "RecommendMidTierApp",
+    "build_recommend",
+    "nmf_factorize",
+    "reconstruction_rmse",
+]

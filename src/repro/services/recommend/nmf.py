@@ -1,0 +1,88 @@
+"""Non-negative Matrix Factorization with masked multiplicative updates.
+
+Recommend's offline stage (paper §III-D): decompose the sparse user-item
+utility matrix V into non-negative factors W (users × rank) and
+H (rank × items) so that V ≈ WH approximates the missing ratings.  Only
+*observed* entries drive the updates (Lee-Seung multiplicative rules with
+a binary mask), which is what makes the completed matrix meaningful for
+rating prediction rather than merely reconstructing zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+def nmf_factorize(
+    utility: np.ndarray,
+    mask: np.ndarray,
+    rank: int,
+    n_iterations: int = 200,
+    seed: int = 0,
+    tol: float = 1e-5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor ``utility`` (with observation ``mask``) into W @ H.
+
+    Returns non-negative ``W`` of shape (users, rank) and ``H`` of shape
+    (rank, items).  Stops early once the masked RMSE improvement per
+    iteration falls below ``tol``.
+    """
+    if utility.shape != mask.shape:
+        raise ValueError("utility and mask shapes differ")
+    if rank <= 0 or rank > min(utility.shape):
+        raise ValueError(f"rank must be in [1, {min(utility.shape)}]")
+    if (utility[mask] < 0).any():
+        raise ValueError("NMF requires non-negative observed ratings")
+    n_users, n_items = utility.shape
+    rng = np.random.default_rng(seed)
+    observed = mask.astype(float)
+    masked_v = utility * observed
+    scale = np.sqrt(max(masked_v.sum() / max(observed.sum(), 1.0), _EPS) / rank)
+    w = rng.uniform(0.1, 1.0, size=(n_users, rank)) * scale
+    h = rng.uniform(0.1, 1.0, size=(rank, n_items)) * scale
+
+    previous_rmse = np.inf
+    for _iteration in range(n_iterations):
+        approx = w @ h
+        # H update: H <- H * (W^T (M*V)) / (W^T (M*(WH)))
+        numerator = w.T @ masked_v
+        denominator = w.T @ (observed * approx) + _EPS
+        h *= numerator / denominator
+        approx = w @ h
+        # W update: W <- W * ((M*V) H^T) / ((M*(WH)) H^T)
+        numerator = masked_v @ h.T
+        denominator = (observed * approx) @ h.T + _EPS
+        w *= numerator / denominator
+
+        rmse = reconstruction_rmse(utility, mask, w, h)
+        if previous_rmse - rmse < tol:
+            break
+        previous_rmse = rmse
+    return w, h
+
+
+def reconstruction_rmse(
+    utility: np.ndarray,
+    mask: np.ndarray,
+    w: np.ndarray,
+    h: np.ndarray,
+) -> float:
+    """RMSE over the observed entries only."""
+    diff = (utility - w @ h)[mask]
+    if diff.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(diff**2)))
+
+
+def complete_matrix(
+    w: np.ndarray, h: np.ndarray, clip: Optional[Tuple[float, float]] = (1.0, 5.0)
+) -> np.ndarray:
+    """The dense completed rating matrix WH, clipped to the star scale."""
+    completed = w @ h
+    if clip is not None:
+        completed = np.clip(completed, clip[0], clip[1])
+    return completed

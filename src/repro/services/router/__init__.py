@@ -1,0 +1,15 @@
+"""Router: replication-based protocol routing for key-value stores (§III-B)."""
+
+from repro.services.router.memcached import MemcachedStore
+from repro.services.router.service import RouterLeafApp, RouterMidTierApp, build_router
+from repro.services.router.spookyhash import SpookyHash, hash128, hash64
+
+__all__ = [
+    "MemcachedStore",
+    "RouterLeafApp",
+    "RouterMidTierApp",
+    "SpookyHash",
+    "build_router",
+    "hash128",
+    "hash64",
+]

@@ -1,0 +1,19 @@
+"""Set Algebra: posting-list set algebra for document retrieval (§III-C)."""
+
+from repro.services.setalgebra.index import InvertedIndex
+from repro.services.setalgebra.service import (
+    SetAlgebraLeafApp,
+    SetAlgebraMidTierApp,
+    build_setalgebra,
+)
+from repro.services.setalgebra.skiplist import SkipList, intersect_linear, intersect_skip
+
+__all__ = [
+    "InvertedIndex",
+    "SetAlgebraLeafApp",
+    "SetAlgebraMidTierApp",
+    "SkipList",
+    "build_setalgebra",
+    "intersect_linear",
+    "intersect_skip",
+]

@@ -1,0 +1,292 @@
+"""Event loop, events, and generator-based processes.
+
+Design notes
+------------
+Time is a float measured in *microseconds* because every phenomenon the
+paper characterizes (context switches, futex calls, interrupt handlers,
+runqueue waits) lives in the single-digit-to-hundreds-of-microseconds
+regime.
+
+The loop is a classic calendar queue built on :mod:`heapq`.  Entries are
+``(time, seq, call)`` tuples; ``seq`` is a monotonically increasing tie
+breaker, so the simulation is fully deterministic for a fixed seed and
+insertion order.  Cancellation is *lazy*: a cancelled :class:`ScheduledCall`
+stays in the heap but is skipped when popped — cheap, and safe because the
+heap never grows without bound in our workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-firing an event)."""
+
+
+class ScheduledCall:
+    """A cancellable callback scheduled at an absolute simulation time."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulation:
+    """The discrete-event loop: a clock plus an ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: list[ScheduledCall] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        self._seq += 1
+        entry = ScheduledCall(time, self._seq, fn, args)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the event loop.
+
+        With ``until`` set, stops once the clock would pass that time (the
+        clock is left *at* ``until``).  Without it, runs until the queue
+        drains.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                entry = heap[0]
+                if entry.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(heap)
+                self._now = entry.time
+                entry.fn(*entry.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next pending callback.  Returns False if none."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled callbacks."""
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+
+class Event:
+    """A one-shot occurrence.
+
+    Processes wait on an event by yielding it; plain callbacks subscribe via
+    :meth:`add_callback`.  An event either *succeeds* with a value or *fails*
+    with an exception; waiting processes receive the value or have the
+    exception thrown into them.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "error")
+
+    def __init__(self, sim: Simulation):
+        self.sim = sim
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True once the event has succeeded."""
+        return self.triggered and self.error is None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if it has)."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self._dispatch()
+        return self
+
+    def fail(self, error: BaseException) -> "Event":
+        """Trigger the event with an exception thrown into waiting processes."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.error = error
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Simulation, delay: float, value: Any = None):
+        super().__init__(sim)
+        self.delay = delay
+        sim.call_in(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self.triggered:
+            self.succeed(value)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A coroutine driven by the event loop.
+
+    The wrapped generator yields :class:`Event` instances (including other
+    processes) and is resumed with the event's value once it triggers.  The
+    process itself is an event that succeeds with the generator's return
+    value, so processes can be joined by yielding them.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: Simulation, gen: Generator[Event, Any, Any], name: str = "?"):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name
+        self._waiting_on: Optional[Event] = None
+        # Start on the next loop iteration so the creator can finish wiring up.
+        sim.call_in(0.0, self._resume, None, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield point."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting = self._waiting_on
+        self._waiting_on = None
+        # The stale event may still trigger later; _on_event ignores it
+        # because _waiting_on no longer points at it.
+        self.sim.call_in(0.0, self._resume, None, Interrupt(cause))
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # interrupted while waiting; stale wakeup
+        self._waiting_on = None
+        if event.error is not None:
+            self._resume(None, event.error)
+        else:
+            self._resume(event.value, None)
+
+    def _resume(self, value: Any, error: Optional[BaseException]) -> None:
+        try:
+            if error is not None:
+                target = self.gen.throw(error)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An un-caught interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        except Exception as exc:  # propagate into joiners
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.gen.throw(
+                SimulationError(f"process {self.name} yielded non-event: {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+def all_of(sim: Simulation, events: Iterable[Event]) -> Event:
+    """An event that succeeds (with a list of values) once every input has."""
+    events = list(events)
+    result = Event(sim)
+    remaining = len(events)
+    if remaining == 0:
+        return result.succeed([])
+
+    def on_done(_evt: Event) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0 and not result.triggered:
+            result.succeed([evt.value for evt in events])
+
+    for evt in events:
+        evt.add_callback(on_done)
+    return result
+
+
+def any_of(sim: Simulation, events: Iterable[Event]) -> Event:
+    """An event that succeeds with the first input event that triggers."""
+    events = list(events)
+    result = Event(sim)
+
+    def on_done(evt: Event) -> None:
+        if not result.triggered:
+            result.succeed(evt)
+
+    for evt in events:
+        evt.add_callback(on_done)
+    return result

@@ -1,0 +1,25 @@
+"""µSuite's public API: build services, run characterizations.
+
+Typical use::
+
+    from repro.suite import SimCluster, build_service, SCALES
+
+    cluster = SimCluster(seed=0)
+    service = build_service("hdsearch", cluster, SCALES["small"])
+    result = cluster.run_open_loop(service, qps=1000, duration_us=2_000_000)
+    print(result.e2e.summary())
+"""
+
+from repro.suite.cluster import RunResult, ServiceHandle, SimCluster
+from repro.suite.config import SCALES, ServiceScale
+from repro.suite.registry import SERVICE_NAMES, build_service
+
+__all__ = [
+    "RunResult",
+    "SCALES",
+    "SERVICE_NAMES",
+    "ServiceHandle",
+    "ServiceScale",
+    "SimCluster",
+    "build_service",
+]

@@ -1,0 +1,193 @@
+"""Cluster assembly and measured runs.
+
+:class:`SimCluster` owns the simulation, fabric, telemetry, and machines
+for one experiment; :class:`ServiceHandle` is what service builders
+return; the ``run_open_loop`` / ``run_closed_loop`` helpers implement the
+paper's §V methodology (warm-up, then a measured window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.kernel import Machine, MachineSpec, OsCosts
+from repro.kernel.scheduler import PlacementPolicy
+from repro.loadgen import ClosedLoopLoadGen, OpenLoopLoadGen, QuerySource
+from repro.loadgen.client import E2E_HIST
+from repro.net import Fabric, LinkSpec
+from repro.rpc.server import LeafRuntime, MidTierRuntime
+from repro.sim import RngStreams, Simulation
+from repro.telemetry import LatencyHistogram, Telemetry
+
+
+class SimCluster:
+    """One simulated deployment: machines, fabric, probes, clock."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        link: Optional[LinkSpec] = None,
+        costs: Optional[OsCosts] = None,
+        reservoir_size: int = 100_000,
+    ):
+        self.sim = Simulation()
+        self.telemetry = Telemetry(reservoir_size=reservoir_size)
+        self.telemetry.attach_clock(lambda: self.sim.now)
+        self.rng = RngStreams(seed)
+        self.fabric = Fabric(self.sim, self.telemetry, self.rng, link=link)
+        self.costs = costs or OsCosts()
+        self.machines: List[Machine] = []
+
+    def machine(
+        self,
+        name: str,
+        cores: int,
+        policy: Optional[PlacementPolicy] = None,
+    ) -> Machine:
+        """Provision one server."""
+        spec = MachineSpec(name=name, cores=cores, costs=self.costs)
+        machine = Machine(
+            sim=self.sim,
+            fabric=self.fabric,
+            telemetry=self.telemetry,
+            rng=self.rng,
+            spec=spec,
+            name=name,
+            policy=policy,
+        )
+        self.machines.append(machine)
+        return machine
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until`` (µs)."""
+        self.sim.run(until=until)
+
+    def shutdown(self) -> None:
+        """Cancel machine background ticks so the event heap can drain."""
+        for machine in self.machines:
+            machine.shutdown()
+
+
+@dataclass
+class ServiceHandle:
+    """A built service: its runtimes plus a query source factory."""
+
+    name: str
+    midtier: MidTierRuntime
+    midtier_machine: Machine
+    leaves: List[LeafRuntime]
+    make_source: Callable[[], QuerySource]
+    # Service-specific extras (e.g. HDSearch's accuracy checker).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def midtier_name(self) -> str:
+        return self.midtier_machine.name
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one windowed run."""
+
+    service: str
+    qps_offered: float
+    duration_us: float
+    sent: int
+    completed: int
+    e2e: LatencyHistogram
+    telemetry: Telemetry
+    midtier_name: str
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completions per second inside the measured window."""
+        return self.completed / (self.duration_us / 1e6) if self.duration_us else 0.0
+
+    def syscalls_per_query(self) -> Dict[str, float]:
+        """Mid-tier syscall invocations normalized per completed query."""
+        counts = self.telemetry.syscall_counts(self.midtier_name)
+        denom = max(self.completed, 1)
+        return {name: count / denom for name, count in counts.items()}
+
+
+def run_open_loop(
+    cluster: SimCluster,
+    service: ServiceHandle,
+    qps: float,
+    duration_us: float,
+    warmup_us: float = 200_000.0,
+    drain_us: float = 50_000.0,
+    tracer=None,
+) -> RunResult:
+    """Paper §V: open-loop Poisson load, warm-up trimmed, window measured."""
+    gen = OpenLoopLoadGen(
+        cluster.sim,
+        cluster.fabric,
+        cluster.telemetry,
+        cluster.rng,
+        target=service.midtier.address,
+        source=service.make_source(),
+        qps=qps,
+        tracer=tracer,
+    )
+    start = cluster.sim.now
+    gen.start()
+    cluster.run(until=start + warmup_us)
+    cluster.telemetry.open_window(cluster.sim.now)
+    sent_before = gen.sent
+    completed_before = gen.completed
+    cluster.run(until=start + warmup_us + duration_us)
+    window_sent = gen.sent - sent_before
+    window_completed = gen.completed - completed_before
+    gen.stop()
+    cluster.run(until=start + warmup_us + duration_us + drain_us)
+    cluster.fabric.unregister(gen.name)
+    return RunResult(
+        service=service.name,
+        qps_offered=qps,
+        duration_us=duration_us,
+        sent=window_sent,
+        completed=window_completed,
+        e2e=cluster.telemetry.hist(E2E_HIST),
+        telemetry=cluster.telemetry,
+        midtier_name=service.midtier_name,
+    )
+
+
+def run_closed_loop(
+    cluster: SimCluster,
+    service: ServiceHandle,
+    n_clients: int,
+    duration_us: float,
+    warmup_us: float = 200_000.0,
+) -> RunResult:
+    """Paper §V: closed-loop mode to establish peak sustainable throughput."""
+    gen = ClosedLoopLoadGen(
+        cluster.sim,
+        cluster.fabric,
+        cluster.telemetry,
+        cluster.rng,
+        target=service.midtier.address,
+        source=service.make_source(),
+        n_clients=n_clients,
+    )
+    start = cluster.sim.now
+    gen.start()
+    cluster.run(until=start + warmup_us)
+    cluster.telemetry.open_window(cluster.sim.now)
+    gen.open_window()
+    cluster.run(until=start + warmup_us + duration_us)
+    completed = gen._window_completed
+    gen.stop()
+    cluster.fabric.unregister(gen.name)
+    return RunResult(
+        service=service.name,
+        qps_offered=float("inf"),
+        duration_us=duration_us,
+        sent=gen.sent,
+        completed=completed,
+        e2e=cluster.telemetry.hist(E2E_HIST),
+        telemetry=cluster.telemetry,
+        midtier_name=service.midtier_name,
+    )

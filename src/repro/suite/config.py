@@ -1,0 +1,134 @@
+"""Topology, dataset, and calibration scales for the four services.
+
+The paper's testbed (Table II: 40C/80T Skylake, 10 Gbit/s, Linux 4.13)
+serves ~10-16 K QPS per service.  Simulating 80-core machines over 30 s
+windows is wasteful in a discrete-event simulator, so a *scale* bundles:
+
+* a scaled topology (leaf count × cores, mid-tier cores, pool sizes), and
+* per-service **target mean leaf service times**, chosen so that the
+  analytic saturation ``total_leaf_cores / (fanout × mean_service_time)``
+  lands at the paper's Fig. 9 values (HDSearch ≈ 11.5 K, Router ≈ 12 K,
+  Set Algebra ≈ 16.5 K, Recommend ≈ 13 K QPS).
+
+Service builders *self-calibrate*: they sample the real algorithm's work
+units over the query set and set the per-unit cost so the mean matches the
+target, letting the latency distribution's shape come from genuine
+algorithmic variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.rpc.server import RuntimeConfig
+
+
+@dataclass(frozen=True)
+class ServiceScale:
+    """Everything size-dependent about one experiment configuration."""
+
+    name: str
+
+    # Topology (HDSearch / Set Algebra / Recommend; Router overrides below).
+    n_leaves: int = 4
+    leaf_cores: int = 4
+    midtier_cores: int = 8
+    # Router's replicated pools: shards × replicas leaves (paper: 16 × 3).
+    router_shards: int = 4
+    router_replicas: int = 3
+    router_leaf_cores: int = 1
+    # Router's routing work (parse + SpookyHash + rewrite) runs under its
+    # completion-queue lock (parse_in_network_thread below), so the lock —
+    # not memcached leaf CPU — bounds its throughput, as a real gRPC
+    # McRouter-alike saturates.
+    router_midtier_cores: int = 4
+
+    midtier_runtime: RuntimeConfig = field(
+        default_factory=lambda: RuntimeConfig(
+            network_threads=4, worker_threads=16, response_threads=8
+        )
+    )
+    leaf_runtime: RuntimeConfig = field(
+        default_factory=lambda: RuntimeConfig(network_threads=2, worker_threads=6)
+    )
+    # Router's proxy parses and routes in the network threads under the
+    # completion-queue lock (McRouter-style); that lock is its bottleneck.
+    router_midtier_runtime: RuntimeConfig = field(
+        default_factory=lambda: RuntimeConfig(
+            network_threads=4,
+            worker_threads=8,
+            response_threads=4,
+            parse_in_network_thread=True,
+        )
+    )
+
+    # Dataset sizes (scaled stand-ins for 500K images / 4.3M docs / ...).
+    hds_points: int = 8000
+    hds_dims: int = 64
+    hds_k: int = 10
+    router_keys: int = 5000
+    setalgebra_docs: int = 3000
+    setalgebra_vocab: int = 4000
+    recommend_users: int = 160
+    recommend_items: int = 100
+    recommend_ratings: int = 6000
+    n_queries: int = 2000
+
+    # Target mean leaf service time per sub-request, in microseconds.
+    # Starting point: total_leaf_cores / (fanout × paper_saturation_qps);
+    # then calibrated empirically (secant iterations against measured
+    # open-loop overload capacity) to land each service's peak sustainable
+    # throughput at the paper's Fig. 9 value.  The analytic budget misses
+    # per-request OS/RPC overheads and Router's hot Zipf shard, which is
+    # why the final numbers differ from the closed-form ones.
+    target_leaf_service_us: Dict[str, float] = field(
+        default_factory=lambda: {
+            "hdsearch": 247.0,
+            # Router leaves are memcached-fast; its mid-tier is the
+            # bottleneck (see router_midtier_cores above).
+            "router": 60.0,
+            "setalgebra": 176.0,
+            "recommend": 222.0,
+        }
+    )
+    # Mid-tier request-path compute targets (tens of microseconds: "its
+    # computation typically takes tens of microseconds", §I).
+    target_midtier_service_us: Dict[str, float] = field(
+        default_factory=lambda: {
+            "hdsearch": 40.0,
+            "router": 75.0,
+            "setalgebra": 15.0,
+            "recommend": 10.0,
+        }
+    )
+
+    def with_overrides(self, **kwargs) -> "ServiceScale":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: "small" keeps full topology but tiny datasets — the benchmark default.
+#: "unit" shrinks topology too, for fast unit tests.
+SCALES: Dict[str, ServiceScale] = {
+    "small": ServiceScale(name="small"),
+    "unit": ServiceScale(
+        name="unit",
+        n_leaves=2,
+        leaf_cores=2,
+        midtier_cores=8,
+        router_shards=2,
+        router_replicas=2,
+        midtier_runtime=RuntimeConfig(network_threads=1, worker_threads=4, response_threads=2),
+        leaf_runtime=RuntimeConfig(network_threads=1, worker_threads=3),
+        hds_points=1500,
+        hds_dims=32,
+        router_keys=500,
+        setalgebra_docs=400,
+        setalgebra_vocab=800,
+        recommend_users=60,
+        recommend_items=40,
+        recommend_ratings=900,
+        n_queries=300,
+    ),
+}

@@ -1,0 +1,39 @@
+"""Service registry: name → deployment builder."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.suite.cluster import ServiceHandle, SimCluster
+from repro.suite.config import ServiceScale
+
+
+def _builders() -> Dict[str, Callable]:
+    # Imported lazily: the service modules import suite.cluster themselves.
+    from repro.services.hdsearch import build_hdsearch
+    from repro.services.recommend import build_recommend
+    from repro.services.router import build_router
+    from repro.services.setalgebra import build_setalgebra
+
+    return {
+        "hdsearch": build_hdsearch,
+        "router": build_router,
+        "setalgebra": build_setalgebra,
+        "recommend": build_recommend,
+    }
+
+
+SERVICE_NAMES = ("hdsearch", "router", "setalgebra", "recommend")
+
+
+def build_service(
+    name: str,
+    cluster: SimCluster,
+    scale: ServiceScale,
+    midtier_policy=None,
+) -> ServiceHandle:
+    """Build the named µSuite service onto ``cluster``."""
+    builders = _builders()
+    if name not in builders:
+        raise KeyError(f"unknown service {name!r}; options: {sorted(builders)}")
+    return builders[name](cluster, scale, midtier_policy=midtier_policy)

@@ -1,0 +1,25 @@
+"""In-simulator observability, mirroring the paper's measurement tooling.
+
+The paper instruments its testbed with eBPF tools (``syscount``,
+``runqlat``, ``hardirqs``, ``softirqs``, ``tcpretrans``), ``perf`` context-
+switch counts, and Intel HITM PEBS events.  Each probe here measures the
+same quantity at the equivalent place in the simulated kernel:
+
+=================  =====================================================
+eBPF / perf tool    Probe in this package
+=================  =====================================================
+``syscount``        :meth:`Telemetry.count_syscall`
+``runqlat``         :meth:`Telemetry.record_runqlat` (Active→Exe)
+``hardirqs``        :meth:`Telemetry.record_irq` with kind ``hardirq``
+``softirqs``        :meth:`Telemetry.record_irq` with net_tx/net_rx/
+                    sched/rcu/block kinds
+``tcpretrans``      :meth:`Telemetry.count_retransmission`
+``perf`` (cs)       :meth:`Telemetry.count_context_switch`
+HITM PEBS           :meth:`Telemetry.count_hitm`
+=================  =====================================================
+"""
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.probes import IRQ_KINDS, Telemetry
+
+__all__ = ["IRQ_KINDS", "LatencyHistogram", "Telemetry"]

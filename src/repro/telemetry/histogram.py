@@ -1,0 +1,106 @@
+"""Reservoir-sampled latency histograms with percentile summaries."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+
+class LatencyHistogram:
+    """Streaming latency statistics with a bounded-memory sample reservoir.
+
+    Tracks exact count / sum / min / max and keeps up to ``reservoir_size``
+    samples (uniform reservoir sampling) for percentile estimation.  For
+    runs below the reservoir size the percentiles are exact.
+    """
+
+    def __init__(self, reservoir_size: int = 100_000, seed: int = 0):
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+        self._sorted_cache: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one latency sample (microseconds)."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._sorted_cache = None
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all recorded samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Estimate the ``pct``-th percentile (0..100) from the reservoir."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if not self._samples:
+            return 0.0
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._samples)
+        ordered = self._sorted_cache
+        if len(ordered) == 1:
+            return ordered[0]
+        # Linear interpolation between closest ranks.
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        # low + frac*(high-low) is exact when both ranks hold equal values,
+        # keeping percentiles monotone under floating point.
+        return ordered[low] + frac * (ordered[high] - ordered[low])
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50.0)
+
+    def summary(self, percentiles: Iterable[float] = (50, 90, 95, 99, 99.9)) -> Dict[str, float]:
+        """A dict of count / mean / min / max plus requested percentiles."""
+        result: Dict[str, float] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+        }
+        for pct in percentiles:
+            key = f"p{pct:g}"
+            result[key] = self.percentile(pct)
+        return result
+
+    def samples(self) -> List[float]:
+        """A copy of the reservoir samples (for violin-style plots)."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram(n={self.count}, mean={self.mean:.2f}us, "
+            f"p50={self.median:.2f}us, p99={self.percentile(99):.2f}us)"
+        )

@@ -1,0 +1,155 @@
+"""The :class:`Telemetry` hub every simulated subsystem records into."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.telemetry.histogram import LatencyHistogram
+
+# Interrupt categories reported by the paper's Figs. 15-18, in their order.
+IRQ_KINDS: Tuple[str, ...] = ("hardirq", "net_tx", "net_rx", "block", "sched", "rcu")
+
+
+class Telemetry:
+    """Aggregates every probe for one simulation run.
+
+    Counters and histograms are keyed by *machine name* so that experiments
+    can isolate the mid-tier (the paper's object of study) from leaves.
+    A ``window_start`` can be set after warm-up so that only steady-state
+    activity is counted.
+    """
+
+    def __init__(self, reservoir_size: int = 100_000):
+        self.reservoir_size = reservoir_size
+        self.window_start: float = 0.0
+        self._clock = lambda: 0.0  # replaced via attach_clock
+        self.syscalls: Dict[str, Counter] = {}
+        self.runqlat: Dict[str, LatencyHistogram] = {}
+        self.irq_latency: Dict[Tuple[str, str], LatencyHistogram] = {}
+        self.context_switches: Counter = Counter()
+        self.hitm: Counter = Counter()
+        # Cross-socket (UPI-hop) subset of the HITM events above.
+        self.hitm_remote: Counter = Counter()
+        self.retransmissions: int = 0
+        self.futex_contended_wakes: Counter = Counter()
+        # Free-form extension points used by RPC / loadgen layers.
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.counters: Counter = Counter()
+        self.events: List[Tuple[float, str]] = []
+
+    # -- wiring ----------------------------------------------------------
+    def attach_clock(self, clock) -> None:
+        """Attach a zero-arg callable returning current simulation time."""
+        self._clock = clock
+
+    def in_window(self) -> bool:
+        """True when current time is inside the measurement window."""
+        return self._clock() >= self.window_start
+
+    def open_window(self, start: float) -> None:
+        """Discard everything recorded before ``start`` (warm-up trim)."""
+        self.window_start = start
+        self.syscalls.clear()
+        self.runqlat.clear()
+        self.irq_latency.clear()
+        self.context_switches.clear()
+        self.hitm.clear()
+        self.hitm_remote.clear()
+        self.retransmissions = 0
+        self.futex_contended_wakes.clear()
+        self.histograms.clear()
+        self.counters.clear()
+        self.events.clear()
+
+    # -- kernel probes ----------------------------------------------------
+    def count_syscall(self, machine: str, name: str) -> None:
+        """eBPF ``syscount`` equivalent."""
+        if not self.in_window():
+            return
+        per_machine = self.syscalls.get(machine)
+        if per_machine is None:
+            per_machine = Counter()
+            self.syscalls[machine] = per_machine
+        per_machine[name] += 1
+
+    def record_runqlat(self, machine: str, latency_us: float) -> None:
+        """eBPF ``runqlat`` equivalent: Active→Exe scheduler wait."""
+        if not self.in_window():
+            return
+        hist = self.runqlat.get(machine)
+        if hist is None:
+            hist = LatencyHistogram(self.reservoir_size)
+            self.runqlat[machine] = hist
+        hist.record(latency_us)
+
+    def record_irq(self, machine: str, kind: str, latency_us: float) -> None:
+        """eBPF ``hardirqs``/``softirqs`` equivalent."""
+        if kind not in IRQ_KINDS:
+            raise ValueError(f"unknown irq kind: {kind}")
+        if not self.in_window():
+            return
+        key = (machine, kind)
+        hist = self.irq_latency.get(key)
+        if hist is None:
+            hist = LatencyHistogram(self.reservoir_size)
+            self.irq_latency[key] = hist
+        hist.record(latency_us)
+
+    def count_context_switch(self, machine: str) -> None:
+        """``perf`` context-switch count equivalent."""
+        if self.in_window():
+            self.context_switches[machine] += 1
+
+    def count_hitm(self, machine: str, n: int = 1, remote: bool = False) -> None:
+        """Intel HITM PEBS equivalent: cross-core contended cacheline hits.
+
+        ``remote`` marks cross-socket transfers (PEBS distinguishes local
+        vs remote HITM); they count toward the total *and* the remote
+        counter."""
+        if self.in_window():
+            self.hitm[machine] += n
+            if remote:
+                self.hitm_remote[machine] += n
+
+    def count_retransmission(self) -> None:
+        """eBPF ``tcpretrans`` equivalent."""
+        if self.in_window():
+            self.retransmissions += 1
+
+    def count_contended_wake(self, machine: str) -> None:
+        """Futex wakes that found waiters (lock handoffs)."""
+        if self.in_window():
+            self.futex_contended_wakes[machine] += 1
+
+    # -- generic extension probes ----------------------------------------
+    def hist(self, name: str) -> LatencyHistogram:
+        """Named histogram, created on first use (e.g. e2e latency)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = LatencyHistogram(self.reservoir_size)
+            self.histograms[name] = hist
+        return hist
+
+    def record(self, name: str, value: float) -> None:
+        """Record into the named histogram if inside the window."""
+        if self.in_window():
+            self.hist(name).record(value)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Increment a named counter if inside the window."""
+        if self.in_window():
+            self.counters[name] += n
+
+    def mark(self, label: str) -> None:
+        """Append a timestamped marker (for debugging traces)."""
+        self.events.append((self._clock(), label))
+
+    # -- summaries ---------------------------------------------------------
+    def syscall_counts(self, machine: str) -> Counter:
+        """All syscall counts for a machine (empty Counter if none)."""
+        return self.syscalls.get(machine, Counter())
+
+    def irq_hist(self, machine: str, kind: str) -> LatencyHistogram:
+        """IRQ latency histogram (empty if never recorded)."""
+        return self.irq_latency.get((machine, kind), LatencyHistogram(1))

@@ -1,0 +1,130 @@
+"""Per-request distributed tracing.
+
+The paper measures *aggregate* distributions (runqlat, syscounts); a
+modern microservice deployment also wants per-request critical paths —
+where did THIS query's 4 ms go?  This tracer records Dapper-style spans
+as a request crosses the tiers:
+
+``client_rtt``      the whole round trip, recorded by the load generator
+``queue_wait``      mid-tier task-queue dwell (dispatch hand-off)
+``request_path``    mid-tier arrival → fan-out sent
+``leaf:<name>``     each leaf sub-request's service span
+``response_path``   final leaf response arrival → reply sent
+
+Sampling keeps overhead bounded: the load generator attaches a trace to
+every Nth request; untraced requests pay one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed segment of a request's life."""
+
+    name: str
+    machine: str
+    start_us: float
+    end_us: Optional[float] = None
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us - self.start_us) if self.end_us is not None else 0.0
+
+
+@dataclass
+class Trace:
+    """All spans recorded for one sampled request."""
+
+    request_id: int
+    started_us: float
+    spans: List[Span] = field(default_factory=list)
+    finished_us: Optional[float] = None
+
+    def begin(self, name: str, machine: str, now: float) -> Span:
+        span = Span(name=name, machine=machine, start_us=now)
+        self.spans.append(span)
+        return span
+
+    def record(self, name: str, machine: str, start_us: float, end_us: float) -> Span:
+        span = Span(name=name, machine=machine, start_us=start_us, end_us=end_us)
+        self.spans.append(span)
+        return span
+
+    def end_last(self, name: str, now: float) -> Optional[Span]:
+        """Close the most recent still-open span called ``name``."""
+        for span in reversed(self.spans):
+            if span.name == name and span.end_us is None:
+                span.end_us = now
+                return span
+        return None
+
+    @property
+    def total_us(self) -> float:
+        if self.finished_us is None:
+            return 0.0
+        return self.finished_us - self.started_us
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total duration per span name."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0.0) + span.duration_us
+        return out
+
+    def critical_path_gap_us(self) -> float:
+        """Round-trip time not covered by any recorded span — the
+        network + scheduling residue between tiers."""
+        return max(0.0, self.total_us - sum(s.duration_us for s in self.spans))
+
+    def render(self) -> str:
+        """A text timeline, one line per span, indented by start order."""
+        if not self.spans:
+            return f"trace #{self.request_id}: (no spans)"
+        origin = self.started_us
+        lines = [f"trace #{self.request_id}: {self.total_us:.0f}us total"]
+        for span in sorted(self.spans, key=lambda s: s.start_us):
+            offset = span.start_us - origin
+            lines.append(
+                f"  +{offset:8.1f}us  {span.name:<16} {span.duration_us:8.1f}us"
+                f"  [{span.machine}]"
+            )
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Creates sampled traces and collects completed ones."""
+
+    def __init__(self, sample_every: int = 100, max_traces: int = 1_000):
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.sample_every = sample_every
+        self.max_traces = max_traces
+        self._counter = 0
+        self.finished: List[Trace] = []
+
+    def maybe_trace(self, request_id: int, now: float) -> Optional[Trace]:
+        """A new trace for every ``sample_every``-th call, else None."""
+        self._counter += 1
+        if self._counter % self.sample_every != 0:
+            return None
+        return Trace(request_id=request_id, started_us=now)
+
+    def finish(self, trace: Trace, now: float) -> None:
+        """Mark a trace complete and keep it (bounded)."""
+        trace.finished_us = now
+        if len(self.finished) < self.max_traces:
+            self.finished.append(trace)
+
+    def breakdown_summary(self) -> Dict[str, float]:
+        """Mean µs per span name across all finished traces."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for trace in self.finished:
+            for name, duration in trace.breakdown().items():
+                sums[name] = sums.get(name, 0.0) + duration
+                counts[name] = counts.get(name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sums}

@@ -1,0 +1,49 @@
+"""Smoke tests: the ``usuite`` CLI runs end to end at unit scale."""
+
+from repro.experiments.cli import main
+
+
+def test_cli_fig9_single_service(capsys):
+    exit_code = main([
+        "fig9", "--scale", "unit", "--services", "hdsearch",
+        "--duration-us", "100000",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 9" in out
+    assert "hdsearch" in out
+    assert "measured QPS" in out
+
+
+def test_cli_fig10_single_cell(capsys):
+    exit_code = main([
+        "fig10", "--scale", "unit", "--services", "router",
+        "--loads", "300", "--min-queries", "60",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10" in out
+    assert "router" in out
+    assert "p99 us" in out
+
+
+def test_cli_syscalls_single_cell(capsys):
+    exit_code = main([
+        "syscalls", "--scale", "unit", "--services", "setalgebra",
+        "--loads", "300", "--min-queries", "60",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "futex" in out
+    assert "Fig. 13" in out
+
+
+def test_cli_overheads_single_cell(capsys):
+    exit_code = main([
+        "overheads", "--scale", "unit", "--services", "recommend",
+        "--loads", "300", "--min-queries", "60",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "active_exe" in out
+    assert "retransmissions" in out

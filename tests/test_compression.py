@@ -1,0 +1,94 @@
+"""Tests for the posting-list compression codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.services.setalgebra.compression import (
+    PforDeltaCodec,
+    VarintDeltaCodec,
+    compression_ratio,
+)
+
+CODECS = [VarintDeltaCodec(), PforDeltaCodec()]
+
+sorted_ids = st.lists(
+    st.integers(min_value=0, max_value=1_000_000), max_size=300, unique=True
+).map(sorted)
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+def test_roundtrip_simple(codec):
+    ids = [0, 1, 5, 100, 101, 4096, 1_000_000]
+    assert codec.decode(codec.encode(ids)) == ids
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+def test_roundtrip_empty(codec):
+    assert codec.decode(codec.encode([])) == []
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+@given(ids=sorted_ids)
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(codec, ids):
+    assert codec.decode(codec.encode(ids)) == ids
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+def test_rejects_unsorted_and_negative(codec):
+    with pytest.raises(ValueError):
+        codec.encode([3, 2])
+    with pytest.raises(ValueError):
+        codec.encode([1, 1])
+    with pytest.raises(ValueError):
+        codec.encode([-1, 2])
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+def test_dense_lists_compress_well(codec):
+    """Consecutive doc ids (gap 0) must compress far below 8 B/id."""
+    ids = list(range(1000))
+    ratio = compression_ratio(codec, ids)
+    assert ratio > 4.0, f"{codec.name}: ratio {ratio:.1f}"
+
+
+def test_varint_multibyte_gaps():
+    codec = VarintDeltaCodec()
+    ids = [0, 200, 20_000, 3_000_000]  # gaps needing 2-4 varint bytes
+    assert codec.decode(codec.encode(ids)) == ids
+
+
+def test_varint_truncated_stream_rejected():
+    codec = VarintDeltaCodec()
+    blob = codec.encode([0, 300])
+    with pytest.raises(ValueError):
+        codec.decode(blob[:-1] + bytes([blob[-1] | 0x80]))
+
+
+def test_pfor_exceptions_handle_outliers():
+    codec = PforDeltaCodec(coverage=0.9)
+    # 99 tiny gaps and one enormous one: the outlier becomes an exception.
+    ids = list(range(99)) + [10_000_000]
+    assert codec.decode(codec.encode(ids)) == ids
+    # Still compresses despite the outlier.
+    assert compression_ratio(codec, ids) > 3.0
+
+
+def test_pfor_truncated_blob_rejected():
+    codec = PforDeltaCodec()
+    with pytest.raises(ValueError):
+        codec.decode(b"\x01\x00")
+    blob = codec.encode(list(range(50)))
+    with pytest.raises(ValueError):
+        codec.decode(blob[:9])
+
+
+def test_pfor_validates_coverage():
+    with pytest.raises(ValueError):
+        PforDeltaCodec(coverage=0.0)
+    with pytest.raises(ValueError):
+        PforDeltaCodec(coverage=1.5)
+
+
+def test_compression_ratio_empty_list():
+    assert compression_ratio(VarintDeltaCodec(), []) == 1.0

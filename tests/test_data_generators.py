@@ -1,0 +1,189 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import DocumentCorpus, FeatureCorpus, KeyValueTrace, RatingsDataset
+
+
+# -- FeatureCorpus ----------------------------------------------------------
+
+def test_feature_corpus_shapes_and_normalization():
+    corpus = FeatureCorpus(n_points=500, dims=32, n_clusters=8, seed=1)
+    assert corpus.vectors.shape == (500, 32)
+    norms = np.linalg.norm(corpus.vectors, axis=1)
+    assert np.allclose(norms, 1.0, atol=1e-9)
+
+
+def test_feature_corpus_reproducible():
+    a = FeatureCorpus(n_points=100, dims=16, seed=5).vectors
+    b = FeatureCorpus(n_points=100, dims=16, seed=5).vectors
+    assert np.array_equal(a, b)
+
+
+def test_feature_corpus_clustered_structure():
+    """Points in the same cluster must be closer than across clusters."""
+    corpus = FeatureCorpus(n_points=2000, dims=32, n_clusters=4,
+                           cluster_spread=0.2, seed=2)
+    same, cross = [], []
+    for i in range(0, 200, 2):
+        for j in range(1, 201, 2):
+            dist = np.linalg.norm(corpus.vectors[i] - corpus.vectors[j])
+            if corpus.cluster_of[i] == corpus.cluster_of[j]:
+                same.append(dist)
+            else:
+                cross.append(dist)
+    assert np.mean(same) < np.mean(cross)
+
+
+def test_query_lands_near_its_source_point():
+    corpus = FeatureCorpus(n_points=1000, dims=32, seed=3)
+    query = corpus.query(near_point=17, spread=0.05)
+    ids, _dists = corpus.brute_force_knn(query, k=5)
+    assert 17 in ids
+
+
+def test_brute_force_knn_orders_by_distance():
+    corpus = FeatureCorpus(n_points=300, dims=16, seed=4)
+    query = corpus.query()
+    _ids, dists = corpus.brute_force_knn(query, k=10)
+    assert all(dists[i] <= dists[i + 1] for i in range(len(dists) - 1))
+
+
+def test_feature_corpus_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        FeatureCorpus(n_points=0)
+
+
+# -- KeyValueTrace ------------------------------------------------------------
+
+def test_kv_trace_mix_roughly_half_gets():
+    trace = KeyValueTrace(n_keys=1000, seed=1)
+    ops = trace.ops(4000)
+    gets = sum(1 for op in ops if op.op == "get")
+    assert 0.45 < gets / len(ops) < 0.55
+
+
+def test_kv_trace_zipf_skew():
+    """The hottest key must be requested far more than the median key."""
+    trace = KeyValueTrace(n_keys=1000, seed=2)
+    ops = trace.ops(20_000)
+    from collections import Counter
+    counts = Counter(op.key for op in ops)
+    hottest = counts.most_common(1)[0][1]
+    assert hottest > 20_000 / 1000 * 10  # >10x uniform share
+
+
+def test_kv_trace_sets_carry_values_gets_do_not():
+    trace = KeyValueTrace(n_keys=10, value_size=64, seed=3)
+    for op in trace.ops(200):
+        if op.op == "set":
+            assert op.value is not None and len(op.value) == 64
+        else:
+            assert op.value is None
+        assert op.size_bytes >= 16
+
+
+def test_kv_preload_covers_every_key():
+    trace = KeyValueTrace(n_keys=50, seed=4)
+    keys = {op.key for op in trace.preload_ops()}
+    assert len(keys) == 50
+
+
+def test_kv_trace_validates_args():
+    with pytest.raises(ValueError):
+        KeyValueTrace(n_keys=0)
+    with pytest.raises(ValueError):
+        KeyValueTrace(get_fraction=1.5)
+
+
+# -- DocumentCorpus --------------------------------------------------------------
+
+def test_document_corpus_builds_documents():
+    corpus = DocumentCorpus(n_documents=200, vocabulary_size=500, seed=1)
+    assert len(corpus.documents) == 200
+    assert all(len(doc) >= 1 for doc in corpus.documents)
+    assert all(0 <= t < 500 for doc in corpus.documents for t in doc)
+
+
+def test_stop_list_contains_most_frequent_terms():
+    corpus = DocumentCorpus(n_documents=500, vocabulary_size=300, seed=2)
+    counts = corpus.collection_frequency()
+    stop = corpus.stop_list(10)
+    threshold = min(counts[t] for t in stop)
+    others = [counts[t] for t in range(300) if t not in stop]
+    assert max(others) <= threshold
+
+
+def test_queries_bounded_length_and_vocab():
+    corpus = DocumentCorpus(n_documents=100, vocabulary_size=400, seed=3)
+    queries = corpus.make_queries(50, max_terms=10)
+    assert len(queries) == 50
+    for q in queries:
+        assert 1 <= len(q) <= 10
+        assert all(0 <= t < 400 for t in q)
+        assert q == sorted(q)
+
+
+def test_matching_documents_ground_truth():
+    corpus = DocumentCorpus(n_documents=300, vocabulary_size=100,
+                            mean_doc_terms=30, seed=4)
+    # Term 0 is the most common term; most docs should contain it.
+    matches = corpus.matching_documents([0])
+    for doc_id in matches:
+        assert 0 in corpus.documents[doc_id]
+    non_matches = set(range(300)) - matches
+    for doc_id in list(non_matches)[:20]:
+        assert 0 not in corpus.documents[doc_id]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=4, unique=True))
+def test_matching_documents_subset_property(terms):
+    corpus = _shared_corpus()
+    matches = corpus.matching_documents(terms)
+    for doc_id in matches:
+        assert set(terms).issubset(corpus.documents[doc_id])
+
+
+_CORPUS_CACHE = {}
+
+
+def _shared_corpus():
+    if "c" not in _CORPUS_CACHE:
+        _CORPUS_CACHE["c"] = DocumentCorpus(
+            n_documents=150, vocabulary_size=100, mean_doc_terms=25, seed=7
+        )
+    return _CORPUS_CACHE["c"]
+
+
+# -- RatingsDataset ------------------------------------------------------------
+
+def test_ratings_dataset_shapes():
+    data = RatingsDataset(n_users=50, n_items=40, n_ratings=500, seed=1)
+    assert data.utility.shape == (50, 40)
+    assert len(data.tuples) >= 500
+    assert data.mask.sum() == len(data.tuples)
+
+
+def test_ratings_in_star_range():
+    data = RatingsDataset(n_users=30, n_items=30, n_ratings=300, seed=2)
+    for _u, _i, rating in data.tuples:
+        assert 1.0 <= rating <= 5.0
+
+
+def test_every_user_has_a_rating():
+    data = RatingsDataset(n_users=80, n_items=20, n_ratings=100, seed=3)
+    assert data.mask.any(axis=1).all()
+
+
+def test_query_pairs_only_from_empty_cells():
+    data = RatingsDataset(n_users=40, n_items=30, n_ratings=400, seed=4)
+    for user, item in data.query_pairs(200):
+        assert not data.mask[user, item]
+
+
+def test_ratings_rejects_overfull_matrix():
+    with pytest.raises(ValueError):
+        RatingsDataset(n_users=5, n_items=5, n_ratings=26)

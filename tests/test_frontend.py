@@ -1,0 +1,91 @@
+"""Tests for the front-end tier: feature extraction and the Fig. 2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.services.frontend import FeatureExtractor
+from repro.services.frontend.hdsearch_frontend import build_frontend
+from repro.suite import SCALES, SimCluster, build_service
+
+
+# -- FeatureExtractor --------------------------------------------------------
+
+def test_extractor_deterministic_unit_vectors():
+    extractor = FeatureExtractor(dims=32, seed=1)
+    image = b"\x01\x02\x03" * 100
+    a = extractor.extract(image)
+    b = extractor.extract(image)
+    assert np.array_equal(a, b)
+    assert a.shape == (32,)
+    assert np.linalg.norm(a) == pytest.approx(1.0)
+
+
+def test_extractor_distinguishes_images():
+    extractor = FeatureExtractor(dims=32, seed=1)
+    a = extractor.extract(b"\x00" * 256)
+    b = extractor.extract(bytes(range(256)) * 4)
+    assert not np.allclose(a, b)
+
+
+def test_cache_key_stable_and_content_based():
+    extractor = FeatureExtractor(dims=8)
+    assert extractor.cache_key(b"img") == extractor.cache_key(b"img")
+    assert extractor.cache_key(b"img") != extractor.cache_key(b"img2")
+    assert extractor.cache_key(b"img").startswith("featvec:")
+
+
+def test_encode_decode_roundtrip():
+    extractor = FeatureExtractor(dims=16, seed=2)
+    vector = extractor.extract(b"roundtrip" * 20)
+    decoded = FeatureExtractor.decode(FeatureExtractor.encode(vector))
+    assert np.allclose(vector, decoded, atol=1e-8)
+    assert FeatureExtractor.decode("").size == 0
+
+
+def test_extractor_validates_dims():
+    with pytest.raises(ValueError):
+        FeatureExtractor(dims=0)
+
+
+# -- the full Fig. 2 pipeline ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def frontend_rig():
+    cluster = SimCluster(seed=9)
+    service = build_service("hdsearch", cluster, SCALES["unit"])
+    frontend = build_frontend(cluster, service, cores=4)
+    return cluster, service, frontend
+
+
+def test_frontend_serves_query_end_to_end(frontend_rig):
+    cluster, _service, frontend = frontend_rig
+    image = b"a test image payload" * 64
+
+    frontend.machine.spawn("user0", frontend.submit_query(image))
+    cluster.run(until=cluster.sim.now + 200_000)
+    assert frontend.stats.pages_built == 1
+    page = frontend.pages[0]
+    assert page["results"], "no k-NN results returned"
+    for row in page["results"]:
+        assert row["url"] == f"https://images.example/{row['image_id']}.jpg"
+    # First query must pay extraction (tens of ms).
+    assert page["latency_us"] > frontend.extractor.extraction_cost_us
+
+
+def test_repeat_query_hits_vector_cache(frontend_rig):
+    cluster, _service, frontend = frontend_rig
+    image = b"a repeated image" * 64
+
+    frontend.machine.spawn("user1", frontend.submit_query(image))
+    cluster.run(until=cluster.sim.now + 200_000)
+    misses_after_first = frontend.stats.cache_misses
+    first_latency = frontend.pages[-1]["latency_us"]
+
+    frontend.machine.spawn("user2", frontend.submit_query(image))
+    cluster.run(until=cluster.sim.now + 200_000)
+    assert frontend.stats.cache_misses == misses_after_first  # hit
+    assert frontend.stats.cache_hits >= 1
+    second_latency = frontend.pages[-1]["latency_us"]
+    # The cached query skips extraction: orders of magnitude faster.
+    assert second_latency < first_latency / 5
+    assert frontend.hit_rate() > 0.0

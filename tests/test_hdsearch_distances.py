@@ -1,0 +1,92 @@
+"""Tests for HDSearch's Euclidean and Hamming distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.data import FeatureCorpus
+from repro.services.hdsearch.distances import (
+    BinarySignatures,
+    euclidean_topk,
+    hamming_distances,
+    hamming_topk,
+)
+
+
+def test_euclidean_topk_exact_and_sorted():
+    rng = np.random.default_rng(0)
+    candidates = rng.normal(size=(50, 8))
+    query = candidates[17] + 0.001
+    rows, dists = euclidean_topk(candidates, query, k=5)
+    assert rows[0] == 17
+    assert list(dists) == sorted(dists)
+    # Agrees with the brute-force answer.
+    truth = np.argsort(np.linalg.norm(candidates - query, axis=1))[:5]
+    assert set(rows) == set(truth)
+
+
+def test_euclidean_topk_empty_and_small():
+    empty_rows, empty_dists = euclidean_topk(np.empty((0, 4)), np.zeros(4), 3)
+    assert len(empty_rows) == 0 and len(empty_dists) == 0
+    rows, _ = euclidean_topk(np.ones((2, 4)), np.zeros(4), k=10)
+    assert len(rows) == 2  # k clamped to candidate count
+
+
+def test_signature_shapes_and_determinism():
+    sig = BinarySignatures(dims=16, n_bits=128, seed=1)
+    vectors = np.random.default_rng(2).normal(size=(5, 16))
+    words = sig.signature(vectors)
+    assert words.shape == (5, 2)
+    assert words.dtype == np.uint64
+    assert np.array_equal(words, sig.signature(vectors))
+    single = sig.signature(vectors[0])
+    assert single.shape == (2,)
+    assert np.array_equal(single, words[0])
+
+
+def test_signature_validates_bits():
+    with pytest.raises(ValueError):
+        BinarySignatures(dims=8, n_bits=100)
+    with pytest.raises(ValueError):
+        BinarySignatures(dims=8, n_bits=0)
+
+
+def test_identical_vectors_have_zero_hamming_distance():
+    sig = BinarySignatures(dims=12, n_bits=64, seed=3)
+    vec = np.random.default_rng(4).normal(size=12)
+    words = sig.signature(np.stack([vec, vec, -vec]))
+    dists = hamming_distances(words, words[0])
+    assert dists[0] == 0 and dists[1] == 0
+    # The antipode flips every hyperplane sign.
+    assert dists[2] == 64
+
+
+def test_hamming_tracks_angular_distance():
+    """Closer vectors must get smaller Hamming distances on average."""
+    corpus = FeatureCorpus(n_points=300, dims=32, n_clusters=4,
+                           cluster_spread=0.2, seed=5)
+    sig = BinarySignatures(dims=32, n_bits=256, seed=6)
+    words = sig.signature(corpus.vectors)
+    query_point = 10
+    query_sig = sig.signature(corpus.vectors[query_point])
+    dists = hamming_distances(words, query_sig)
+    same = [dists[i] for i in range(300)
+            if corpus.cluster_of[i] == corpus.cluster_of[query_point]]
+    other = [dists[i] for i in range(300)
+             if corpus.cluster_of[i] != corpus.cluster_of[query_point]]
+    assert np.mean(same) < np.mean(other)
+
+
+def test_hamming_topk_finds_near_point():
+    corpus = FeatureCorpus(n_points=500, dims=32, seed=7)
+    sig = BinarySignatures(dims=32, n_bits=256, seed=8)
+    words = sig.signature(corpus.vectors)
+    query = corpus.query(near_point=42, spread=0.02)
+    rows, dists = hamming_topk(words, sig.signature(query), k=10)
+    assert 42 in rows
+    assert list(dists) == sorted(dists)
+
+
+def test_hamming_topk_empty():
+    rows, dists = hamming_topk(np.empty((0, 2), dtype=np.uint64),
+                               np.zeros(2, dtype=np.uint64), 5)
+    assert len(rows) == 0 and len(dists) == 0

@@ -1,0 +1,111 @@
+"""Property-based tests: scheduler and synchronization invariants hold
+under randomized thread workloads."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Compute, Mutex, Nanosleep, YieldCpu
+from repro.kernel.threads import ThreadState
+
+from tests.helpers import Rig
+
+# A thread program is a list of (op, arg) actions.
+_action = st.one_of(
+    st.tuples(st.just("compute"), st.floats(min_value=0.5, max_value=50.0)),
+    st.tuples(st.just("sleep"), st.floats(min_value=1.0, max_value=200.0)),
+    st.tuples(st.just("yield"), st.just(0.0)),
+    st.tuples(st.just("lock"), st.floats(min_value=0.5, max_value=20.0)),
+)
+_program = st.lists(_action, min_size=1, max_size=8)
+
+
+def _run_chaos(programs, cores, seed=0):
+    """Run random thread programs; return (rig, machine, trace)."""
+    rig = Rig(seed=seed)
+    machine = rig.machine("m", cores=cores)
+    mutex = Mutex("chaos")
+    inside = []
+    max_inside = [0]
+    running_by_core = {}
+    finished = []
+
+    def body(tag, program):
+        for op, arg in program:
+            if op == "compute":
+                yield Compute(arg)
+            elif op == "sleep":
+                yield Nanosleep(arg)
+            elif op == "yield":
+                yield YieldCpu()
+            elif op == "lock":
+                yield from mutex.acquire()
+                inside.append(tag)
+                max_inside[0] = max(max_inside[0], len(inside))
+                yield Compute(arg)
+                inside.remove(tag)
+                yield from mutex.release()
+        finished.append(tag)
+
+    threads = [
+        machine.spawn(f"t{i}", body(i, program))
+        for i, program in enumerate(programs)
+    ]
+    machine.shutdown()
+    rig.run(until=5_000_000)
+    return rig, machine, threads, finished, max_inside[0]
+
+
+@given(st.lists(_program, min_size=1, max_size=6), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_every_thread_completes(programs, cores):
+    """No workload may deadlock or starve: all threads finish."""
+    _rig, _machine, threads, finished, _ = _run_chaos(programs, cores)
+    assert sorted(finished) == list(range(len(programs)))
+    assert all(t.state is ThreadState.DONE for t in threads)
+
+
+@given(st.lists(_program, min_size=2, max_size=6), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_mutex_never_doubly_held(programs, cores):
+    """Mutual exclusion holds for every interleaving the scheduler picks."""
+    _rig, _machine, _threads, _finished, max_inside = _run_chaos(programs, cores)
+    assert max_inside <= 1
+
+
+@given(st.lists(_program, min_size=1, max_size=5), st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_cores_left_clean_after_drain(programs, cores):
+    """After every thread exits, no core holds a current thread or backlog."""
+    _rig, machine, _threads, _finished, _ = _run_chaos(programs, cores)
+    for core in machine.scheduler.cores:
+        assert core.current is None
+        assert not core.runqueue
+
+
+@given(st.lists(_program, min_size=1, max_size=5))
+@settings(max_examples=20, deadline=None)
+def test_vruntime_monotone_nonnegative(programs):
+    """Virtual runtime only accumulates."""
+    _rig, _machine, threads, _finished, _ = _run_chaos(programs, cores=2)
+    for thread in threads:
+        assert thread.vruntime >= 0.0
+
+
+@given(
+    st.lists(_program, min_size=2, max_size=5),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulation_deterministic(programs, cores, seed):
+    """Identical seeds and programs give identical telemetry."""
+
+    def signature(run_seed):
+        rig, machine, threads, _f, _m = _run_chaos(programs, cores, seed=run_seed)
+        return (
+            rig.sim.now,
+            rig.telemetry.context_switches["m"],
+            dict(rig.telemetry.syscall_counts("m")),
+            [round(t.vruntime, 9) for t in threads],
+        )
+
+    assert signature(seed) == signature(seed)

@@ -1,0 +1,98 @@
+"""Tests for the similarity measures and item-recommendation extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.services.recommend.knn import (
+    AllKnnPredictor,
+    SIMILARITY_MEASURES,
+    cosine_similarities,
+    euclidean_similarities,
+    pearson_similarities,
+)
+
+
+def _matrix(rows=6, dims=4, seed=0):
+    return np.random.default_rng(seed).normal(size=(rows, dims))
+
+
+def test_cosine_self_similarity_is_one():
+    matrix = _matrix()
+    sims = cosine_similarities(matrix[2], matrix)
+    assert sims[2] == pytest.approx(1.0)
+    assert np.all(sims <= 1.0 + 1e-9)
+
+
+def test_cosine_scale_invariant():
+    matrix = _matrix()
+    a = cosine_similarities(matrix[0], matrix)
+    b = cosine_similarities(matrix[0] * 7.5, matrix)
+    assert np.allclose(a, b)
+
+
+def test_pearson_shift_invariant():
+    matrix = _matrix(seed=1)
+    a = pearson_similarities(matrix[0], matrix)
+    b = pearson_similarities(matrix[0] + 100.0, matrix)
+    assert np.allclose(a, b, atol=1e-9)
+    assert pearson_similarities(matrix[3], matrix)[3] == pytest.approx(1.0)
+
+
+def test_euclidean_similarity_bounds_and_identity():
+    matrix = _matrix(seed=2)
+    sims = euclidean_similarities(matrix[1], matrix)
+    assert sims[1] == pytest.approx(1.0)
+    assert np.all(sims > 0.0) and np.all(sims <= 1.0)
+    # Farther rows are less similar.
+    far = matrix[1] + 100.0
+    assert euclidean_similarities(far, matrix)[1] < 0.05
+
+
+@given(
+    npst.arrays(np.float64, (5, 3),
+                elements=st.floats(min_value=-10, max_value=10)),
+)
+@settings(max_examples=50, deadline=None)
+def test_similarity_outputs_finite(matrix):
+    for fn in (cosine_similarities, pearson_similarities, euclidean_similarities):
+        sims = fn(matrix[0], matrix)
+        assert sims.shape == (5,)
+        assert np.isfinite(sims).all()
+
+
+@pytest.mark.parametrize("measure", SIMILARITY_MEASURES)
+def test_predictor_accepts_every_measure(measure):
+    factors = _matrix(rows=8, dims=3, seed=3)
+    ratings = np.clip(np.abs(_matrix(rows=8, dims=5, seed=4)) + 1.0, 1.0, 5.0)
+    predictor = AllKnnPredictor(factors, ratings, k=3, similarity=measure)
+    value = predictor.predict(factors[0], item=2)
+    assert 1.0 <= value <= 5.0
+
+
+def test_predictor_rejects_unknown_measure():
+    with pytest.raises(ValueError):
+        AllKnnPredictor(np.ones((2, 2)), np.ones((2, 2)), k=1, similarity="manhattan")
+
+
+def test_recommend_items_ranks_and_excludes():
+    # Two user groups with opposite tastes over 4 items.
+    factors = np.array([[1.0, 0.0]] * 3 + [[0.0, 1.0]] * 3)
+    ratings = np.array([[5.0, 4.0, 1.0, 2.0]] * 3 + [[1.0, 2.0, 5.0, 4.0]] * 3)
+    predictor = AllKnnPredictor(factors, ratings, k=3)
+    query = np.array([1.0, 0.05])
+    picks = predictor.recommend_items(query, n_items=2)
+    assert [item for item, _score in picks] == [0, 1]
+    scores = [score for _item, score in picks]
+    assert scores == sorted(scores, reverse=True)
+    # Excluding the top item promotes the runner-up.
+    picks = predictor.recommend_items(query, n_items=2, exclude=(0,))
+    assert [item for item, _score in picks] == [1, 3]
+
+
+def test_recommend_items_respects_n_items():
+    factors = _matrix(rows=5, dims=2, seed=5)
+    ratings = np.abs(_matrix(rows=5, dims=10, seed=6))
+    predictor = AllKnnPredictor(factors, ratings, k=2)
+    assert len(predictor.recommend_items(factors[0], n_items=4)) == 4

@@ -1,0 +1,110 @@
+"""Coverage for machine plumbing: alloc model, RCU ticks, CPU stealing."""
+
+import pytest
+
+from repro.kernel import Compute, Nanosleep
+from repro.kernel.machine import BRK_EVERY, MMAP_EVERY, RCU_TICK_US
+
+from tests.helpers import Rig
+
+
+def test_alloc_tick_emits_brk_and_mmap_at_documented_rates():
+    rig = Rig()
+    machine = rig.machine("m", cores=1)
+    for _ in range(MMAP_EVERY * 2):
+        machine.alloc_tick()
+    counts = rig.telemetry.syscall_counts("m")
+    assert counts["brk"] == (MMAP_EVERY * 2) // BRK_EVERY
+    assert counts["mmap"] == 2
+    assert counts["munmap"] == 2
+
+
+def test_rcu_tick_samples_only_busy_cores():
+    rig = Rig()
+    machine = rig.machine("m", cores=2)
+
+    def busy():
+        for _ in range(10):
+            yield Compute(RCU_TICK_US / 2)
+
+    machine.spawn("busy", busy())
+    rig.run(until=RCU_TICK_US * 6)
+    machine.shutdown()
+    samples = rig.telemetry.irq_hist("m", "rcu").count
+    # One core is busy across ~5 ticks; the idle core contributes nothing
+    # beyond its brief startup activity.
+    assert 3 <= samples <= 10
+
+
+def test_shutdown_stops_rcu_ticks():
+    rig = Rig()
+    machine = rig.machine("m", cores=1)
+
+    def busy():
+        for _ in range(200):
+            yield Compute(RCU_TICK_US / 2)
+
+    machine.spawn("busy", busy())
+    rig.run(until=RCU_TICK_US * 3)
+    machine.shutdown()
+    before = rig.telemetry.irq_hist("m", "rcu").count
+    rig.run(until=RCU_TICK_US * 10)
+    after = rig.telemetry.irq_hist("m", "rcu").count
+    assert after == before
+
+
+def test_steal_cpu_extends_running_compute():
+    """An interrupt on a busy core delays the running thread's completion."""
+    costs_rig = Rig()
+    machine = costs_rig.machine("m", cores=1)
+    finish = []
+
+    def body():
+        yield Compute(100.0)
+        finish.append(costs_rig.sim.now)
+
+    machine.spawn("t", body())
+    machine.shutdown()
+    # Inject 30us of interrupt handling mid-compute.
+    costs_rig.sim.call_in(50.0, machine.scheduler.steal_cpu, 0, 30.0)
+    costs_rig.run(until=10_000)
+    assert finish and finish[0] >= 130.0
+
+
+def test_steal_cpu_on_idle_core_is_noop():
+    rig = Rig()
+    machine = rig.machine("m", cores=1)
+    machine.shutdown()
+    machine.scheduler.steal_cpu(0, 50.0)  # must not raise
+    rig.run(until=1_000)
+
+
+def test_least_busy_irq_core_prefers_idle():
+    rig = Rig()
+    machine = rig.machine("m", cores=4)
+
+    def hog():
+        for _ in range(100):
+            yield Compute(1_000.0)
+
+    machine.spawn("hog", hog())
+    machine.shutdown()
+    rig.run(until=500.0)  # hog is now running on core 0
+    busy = [c.index for c in machine.scheduler.cores if c.current is not None]
+    pick = machine.scheduler.least_busy_irq_core(limit=4)
+    assert pick not in busy
+
+
+def test_machine_count_syscall_direct():
+    rig = Rig()
+    machine = rig.machine("m", cores=1)
+    machine.count_syscall("openat")
+    assert rig.telemetry.syscall_counts("m")["openat"] == 1
+
+
+def test_machine_repr_and_duplicate_endpoint():
+    rig = Rig()
+    machine = rig.machine("m", cores=2)
+    assert "m" in repr(machine) and "2 cores" in repr(machine)
+    with pytest.raises(ValueError):
+        rig.fabric.register("m", lambda packet: None)

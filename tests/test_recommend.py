@@ -1,0 +1,145 @@
+"""Tests for Recommend: NMF, all-kNN prediction, and the service."""
+
+import numpy as np
+import pytest
+
+from repro.data import RatingsDataset
+from repro.services.costmodel import LinearCost
+from repro.services.recommend import (
+    AllKnnPredictor,
+    RecommendLeafApp,
+    RecommendMidTierApp,
+    build_recommend,
+    nmf_factorize,
+    reconstruction_rmse,
+)
+from repro.services.recommend.nmf import complete_matrix
+from repro.suite import SCALES, SimCluster
+from repro.suite.cluster import run_open_loop
+
+
+# -- NMF ------------------------------------------------------------------------
+
+def test_nmf_factors_nonnegative_and_shaped():
+    data = RatingsDataset(n_users=40, n_items=30, n_ratings=500, seed=1)
+    w, h = nmf_factorize(data.utility, data.mask, rank=5, seed=2)
+    assert w.shape == (40, 5) and h.shape == (5, 30)
+    assert (w >= 0).all() and (h >= 0).all()
+
+
+def test_nmf_reduces_reconstruction_error():
+    data = RatingsDataset(n_users=50, n_items=40, n_ratings=800, seed=3)
+    rng = np.random.default_rng(0)
+    w0 = rng.uniform(0.1, 1.0, size=(50, 6))
+    h0 = rng.uniform(0.1, 1.0, size=(6, 40))
+    before = reconstruction_rmse(data.utility, data.mask, w0, h0)
+    w, h = nmf_factorize(data.utility, data.mask, rank=6, seed=4)
+    after = reconstruction_rmse(data.utility, data.mask, w, h)
+    assert after < before
+    assert after < 0.6  # planted-rank data must fit well
+
+
+def test_nmf_generalizes_to_held_out_cells():
+    """The factorization must predict ratings it never saw better than the
+    global-mean baseline — i.e. it learned the planted structure."""
+    data = RatingsDataset(n_users=80, n_items=60, n_ratings=2400, seed=5)
+    w, h = nmf_factorize(data.utility, data.mask, rank=data.rank, seed=6)
+    completed = complete_matrix(w, h)
+    hidden = ~data.mask
+    truth = np.array([[data.true_rating(u, i) for i in range(60)] for u in range(80)])
+    nmf_err = np.sqrt(np.mean((completed[hidden] - truth[hidden]) ** 2))
+    baseline = data.utility[data.mask].mean()
+    base_err = np.sqrt(np.mean((baseline - truth[hidden]) ** 2))
+    assert nmf_err < base_err
+
+
+def test_nmf_validates_inputs():
+    data = RatingsDataset(n_users=10, n_items=8, n_ratings=40, seed=7)
+    with pytest.raises(ValueError):
+        nmf_factorize(data.utility, data.mask[:5], rank=2)
+    with pytest.raises(ValueError):
+        nmf_factorize(data.utility, data.mask, rank=0)
+    bad = data.utility.copy()
+    bad[data.mask] = -1.0
+    with pytest.raises(ValueError):
+        nmf_factorize(bad, data.mask, rank=2)
+
+
+def test_complete_matrix_clips_to_star_scale():
+    w = np.array([[10.0]])
+    h = np.array([[10.0]])
+    assert complete_matrix(w, h)[0, 0] == 5.0
+    assert complete_matrix(w * 0, h)[0, 0] == 1.0
+
+
+# -- AllKnnPredictor ---------------------------------------------------------------
+
+def test_knn_prefers_similar_users():
+    factors = np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [0.1, 0.9]])
+    ratings = np.array([[5.0], [5.0], [1.0], [1.0]])
+    predictor = AllKnnPredictor(factors, ratings, k=2)
+    # A user aligned with the first group should predict ~5.
+    assert predictor.predict(np.array([1.0, 0.05]), 0) > 4.0
+    # A user aligned with the second group should predict ~1.
+    assert predictor.predict(np.array([0.05, 1.0]), 0) < 2.0
+
+
+def test_knn_k_larger_than_shard_is_clamped():
+    factors = np.ones((3, 2))
+    ratings = np.full((3, 4), 3.0)
+    predictor = AllKnnPredictor(factors, ratings, k=50)
+    assert predictor.k == 3
+    assert predictor.predict(np.ones(2), 1) == pytest.approx(3.0)
+
+
+def test_knn_validates_inputs():
+    with pytest.raises(ValueError):
+        AllKnnPredictor(np.ones((3, 2)), np.ones((4, 2)), k=1)
+    with pytest.raises(ValueError):
+        AllKnnPredictor(np.ones((3, 2)), np.ones((3, 2)), k=0)
+
+
+# -- service glue -------------------------------------------------------------------
+
+def test_midtier_forwards_to_all_and_averages():
+    app = RecommendMidTierApp(3, LinearCost(5, 0.1), LinearCost(1, 0.1))
+    plan = app.fanout((7, 4))
+    assert [leaf for leaf, _q, _s in plan.subrequests] == [0, 1, 2]
+    merged = app.merge((7, 4), [3.0, 4.0, 5.0])
+    assert merged.payload == pytest.approx(4.0)
+
+
+def test_recommend_predictions_track_planted_ratings():
+    cluster = SimCluster(seed=6)
+    service = build_recommend(cluster, SCALES["unit"])
+    data = service.extras["dataset"]
+    app = service.midtier.app
+    errors = []
+    for user, item in data.query_pairs(60, seed=42):
+        plan = app.fanout((user, item))
+        responses = [
+            service.leaves[l].app.handle(q).payload for l, q, _s in plan.subrequests
+        ]
+        prediction = app.merge((user, item), responses).payload
+        assert 1.0 <= prediction <= 5.0
+        errors.append(prediction - data.true_rating(user, item))
+    rmse = float(np.sqrt(np.mean(np.square(errors))))
+    baseline = data.utility[data.mask].mean()
+    base_rmse = float(
+        np.sqrt(np.mean([
+            (baseline - data.true_rating(u, i)) ** 2
+            for u, i in data.query_pairs(60, seed=42)
+        ]))
+    )
+    assert rmse < base_rmse  # beats predicting the global mean
+
+
+def test_recommend_service_under_load():
+    cluster = SimCluster(seed=7)
+    service = build_recommend(cluster, SCALES["unit"])
+    result = run_open_loop(cluster, service, qps=300.0, duration_us=300_000,
+                           warmup_us=100_000)
+    assert result.completed > 50
+    assert result.e2e.median < 1_500.0
+    per_query = result.syscalls_per_query()
+    assert per_query["futex"] == max(per_query.values())

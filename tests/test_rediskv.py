@@ -1,0 +1,210 @@
+"""Tests for the Redis-like structure store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.services.frontend.rediskv import RedisLikeStore, WrongTypeError
+
+
+def _store(**kwargs):
+    return RedisLikeStore(**kwargs)
+
+
+# -- strings -------------------------------------------------------------------
+
+def test_set_get_roundtrip():
+    store = _store()
+    store.set("k", "v")
+    assert store.get("k") == "v"
+    assert store.hits == 1
+
+
+def test_get_missing_counts_miss():
+    store = _store()
+    assert store.get("nope") is None
+    assert store.misses == 1
+
+
+def test_delete_and_exists():
+    store = _store()
+    store.set("k", "v")
+    assert store.exists("k")
+    assert store.delete("k")
+    assert not store.exists("k")
+    assert not store.delete("k")
+
+
+def test_incr_semantics():
+    store = _store()
+    assert store.incr("n") == 1
+    assert store.incr("n", 5) == 6
+    assert store.get("n") == "6"
+    store.set("s", "abc")
+    with pytest.raises(WrongTypeError):
+        store.incr("s")
+
+
+# -- expiry --------------------------------------------------------------------
+
+def test_ttl_lazy_expiry():
+    now = [0.0]
+    store = _store(clock=lambda: now[0])
+    store.set("k", "v", ttl_us=100.0)
+    assert store.get("k") == "v"
+    assert store.ttl("k") == pytest.approx(100.0)
+    now[0] = 150.0
+    assert store.get("k") is None
+    assert store.expirations == 1
+
+
+def test_expire_on_existing_key():
+    now = [0.0]
+    store = _store(clock=lambda: now[0])
+    store.set("k", "v")
+    assert store.ttl("k") is None
+    assert store.expire("k", 50.0)
+    now[0] = 60.0
+    assert not store.exists("k")
+    assert not store.expire("gone", 10.0)
+
+
+# -- hashes (the paper's image-ID -> URL store) ----------------------------------
+
+def test_hash_operations():
+    store = _store()
+    assert store.hset("urls", "1", "a.jpg") is True
+    assert store.hset("urls", "1", "b.jpg") is False  # overwrite
+    store.hset("urls", "2", "c.jpg")
+    assert store.hget("urls", "1") == "b.jpg"
+    assert store.hlen("urls") == 2
+    assert store.hgetall("urls") == {"1": "b.jpg", "2": "c.jpg"}
+    assert store.hdel("urls", "1") is True
+    assert store.hdel("urls", "1") is False
+    assert store.hlen("urls") == 1
+
+
+def test_type_confusion_raises():
+    store = _store()
+    store.set("k", "v")
+    with pytest.raises(WrongTypeError):
+        store.hget("k", "f")
+    store.hset("h", "f", "v")
+    with pytest.raises(WrongTypeError):
+        store.get("h")
+    with pytest.raises(WrongTypeError):
+        store.lpush("h", "x")
+
+
+# -- lists + BLPOP ----------------------------------------------------------------
+
+def test_list_push_pop_order():
+    store = _store()
+    store.rpush("q", "a", "b")
+    store.lpush("q", "z")
+    assert store.llen("q") == 3
+    assert store.lrange("q", 0, -1) == ["z", "a", "b"]
+    assert store.lpop("q") == "z"
+    assert store.rpop("q") == "b"
+    assert store.lpop("q") == "a"
+    assert store.lpop("q") is None
+    assert not store.exists("q")
+
+
+def test_lrange_negative_indexes():
+    store = _store()
+    store.rpush("q", *[str(i) for i in range(5)])
+    assert store.lrange("q", -2, -1) == ["3", "4"]
+    assert store.lrange("q", 1, 2) == ["1", "2"]
+    assert store.lrange("missing", 0, -1) == []
+
+
+def test_blpop_immediate_when_data_present():
+    store = _store()
+    store.rpush("q", "ready")
+    woken = []
+    result = store.register_blpop(["q"], woken.append)
+    assert result == ("q", "ready")
+    assert woken == []
+
+
+def test_blpop_blocks_until_push_fifo():
+    store = _store()
+    woken_a, woken_b = [], []
+    assert store.register_blpop(["q"], woken_a.append) is None
+    assert store.register_blpop(["q"], woken_b.append) is None
+    store.rpush("q", "first")
+    assert woken_a == [("q", "first")]  # longest-blocked served first
+    assert woken_b == []
+    store.rpush("q", "second")
+    assert woken_b == [("q", "second")]
+    assert store.llen("q") == 0
+
+
+def test_blpop_multiple_keys():
+    store = _store()
+    woken = []
+    store.register_blpop(["a", "b"], woken.append)
+    store.rpush("b", "via-b")
+    assert woken == [("b", "via-b")]
+
+
+def test_blpop_cancel():
+    store = _store()
+    woken = []
+    wake = woken.append  # same callable object for register and cancel
+    store.register_blpop(["q"], wake)
+    store.cancel_blpop(wake)
+    store.rpush("q", "x")
+    assert woken == []
+    assert store.llen("q") == 1
+
+
+# -- eviction ---------------------------------------------------------------------
+
+def test_lru_eviction_under_maxmemory():
+    # Each entry costs len(key)=1 + 48 header + 50 value = 99 bytes, so a
+    # 250-byte budget holds two entries and the third forces an eviction.
+    store = _store(maxmemory_bytes=250)
+    store.set("a", "x" * 50)
+    store.set("b", "x" * 50)
+    store.get("a")  # touch: b becomes LRU
+    store.set("c", "x" * 50)  # must evict b
+    assert store.get("b") is None
+    assert store.get("a") == "x" * 50
+    assert store.evictions >= 1
+    assert store.bytes_used <= 250
+
+
+def test_rejects_zero_maxmemory():
+    with pytest.raises(ValueError):
+        _store(maxmemory_bytes=0)
+
+
+# -- property: bytes accounting stays consistent ------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["set", "del", "hset", "rpush", "lpop"]),
+                          st.sampled_from(["k1", "k2", "k3"]),
+                          st.text(min_size=0, max_size=12)),
+                max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_bytes_used_matches_contents(ops):
+    store = _store()
+    for op, key, value in ops:
+        try:
+            if op == "set":
+                store.set(key, value)
+            elif op == "del":
+                store.delete(key)
+            elif op == "hset":
+                store.hset(key, value or "f", value)
+            elif op == "rpush":
+                store.rpush(key, value)
+            elif op == "lpop":
+                store.lpop(key)
+        except WrongTypeError:
+            pass
+    expected = sum(
+        entry.size_bytes(key) for key, entry in store._data.items()
+    )
+    assert store.bytes_used == expected
+    assert store.bytes_used >= 0

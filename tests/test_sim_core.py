@@ -1,0 +1,252 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Process, Simulation, Timeout
+from repro.sim.core import SimulationError, all_of, any_of
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_call_in_executes_in_time_order():
+    sim = Simulation()
+    seen = []
+    sim.call_in(5.0, seen.append, "b")
+    sim.call_in(1.0, seen.append, "a")
+    sim.call_in(9.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_callbacks_run_in_insertion_order():
+    sim = Simulation()
+    seen = []
+    for tag in range(10):
+        sim.call_in(3.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulation()
+    seen = []
+    sim.call_in(2.0, seen.append, "early")
+    sim.call_in(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulation()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_cancelled_call_does_not_run():
+    sim = Simulation()
+    seen = []
+    handle = sim.call_in(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_pending_counts_live_entries():
+    sim = Simulation()
+    a = sim.call_in(1.0, lambda: None)
+    sim.call_in(2.0, lambda: None)
+    assert sim.pending() == 2
+    a.cancel()
+    assert sim.pending() == 1
+
+
+def test_step_executes_one_callback():
+    sim = Simulation()
+    seen = []
+    sim.call_in(1.0, seen.append, 1)
+    sim.call_in(2.0, seen.append, 2)
+    assert sim.step()
+    assert seen == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_event_succeed_delivers_value_to_callbacks():
+    sim = Simulation()
+    evt = Event(sim)
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    evt.succeed(42)
+    assert seen == [42]
+    assert evt.ok
+
+
+def test_event_callback_after_trigger_fires_immediately():
+    sim = Simulation()
+    evt = Event(sim)
+    evt.succeed("v")
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulation()
+    evt = Event(sim)
+    evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.succeed()
+
+
+def test_timeout_triggers_at_deadline():
+    sim = Simulation()
+    evt = Timeout(sim, 7.5, value="done")
+    sim.run()
+    assert evt.ok
+    assert evt.value == "done"
+    assert sim.now == 7.5
+
+
+def test_process_advances_through_timeouts():
+    sim = Simulation()
+    trace = []
+
+    def body():
+        trace.append(sim.now)
+        yield Timeout(sim, 10.0)
+        trace.append(sim.now)
+        yield Timeout(sim, 5.0)
+        trace.append(sim.now)
+        return "finished"
+
+    proc = Process(sim, body(), name="walker")
+    sim.run()
+    assert trace == [0.0, 10.0, 15.0]
+    assert proc.ok and proc.value == "finished"
+
+
+def test_process_receives_event_value():
+    sim = Simulation()
+    evt = Event(sim)
+    got = []
+
+    def body():
+        got.append((yield evt))
+
+    Process(sim, body())
+    sim.call_in(3.0, evt.succeed, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_join_returns_child_value():
+    sim = Simulation()
+
+    def child():
+        yield Timeout(sim, 4.0)
+        return 99
+
+    def parent():
+        value = yield Process(sim, child(), name="child")
+        return value * 2
+
+    proc = Process(sim, parent(), name="parent")
+    sim.run()
+    assert proc.value == 198
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulation()
+
+    def child():
+        yield Timeout(sim, 1.0)
+        raise ValueError("boom")
+
+    caught = []
+
+    def parent():
+        try:
+            yield Process(sim, child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    Process(sim, parent())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_interrupt_is_catchable():
+    sim = Simulation()
+    log = []
+
+    def body():
+        try:
+            yield Timeout(sim, 100.0)
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    proc = Process(sim, body(), name="sleeper")
+    sim.call_in(5.0, proc.interrupt, "wakeup")
+    sim.run()
+    assert log == [("interrupted", 5.0, "wakeup")]
+
+
+def test_interrupt_then_stale_event_is_ignored():
+    sim = Simulation()
+    resumptions = []
+
+    def body():
+        try:
+            yield Timeout(sim, 10.0)
+            resumptions.append("timeout")
+        except Interrupt:
+            resumptions.append("interrupt")
+        yield Timeout(sim, 50.0)
+        resumptions.append("second")
+
+    proc = Process(sim, body())
+    sim.call_in(2.0, proc.interrupt)
+    sim.run()
+    # The original 10.0 timeout firing must not resume the process a second time.
+    assert resumptions == ["interrupt", "second"]
+
+
+def test_all_of_collects_every_value():
+    sim = Simulation()
+    evts = [Timeout(sim, t, value=t) for t in (3.0, 1.0, 2.0)]
+    combined = all_of(sim, evts)
+    sim.run()
+    assert combined.ok
+    assert combined.value == [3.0, 1.0, 2.0]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulation()
+    combined = all_of(sim, [])
+    assert combined.ok and combined.value == []
+
+
+def test_any_of_returns_first_event():
+    sim = Simulation()
+    fast = Timeout(sim, 1.0, value="fast")
+    slow = Timeout(sim, 9.0, value="slow")
+    first = any_of(sim, [slow, fast])
+    sim.run()
+    assert first.ok
+    assert first.value is fast

@@ -1,0 +1,161 @@
+"""Tests for telemetry probes and the latency histogram."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import IRQ_KINDS, LatencyHistogram, Telemetry
+
+
+# -- LatencyHistogram -----------------------------------------------------------
+
+def test_histogram_basic_stats():
+    hist = LatencyHistogram()
+    hist.extend([1.0, 2.0, 3.0, 4.0])
+    assert hist.count == 4
+    assert hist.mean == 2.5
+    assert hist.min == 1.0 and hist.max == 4.0
+
+
+def test_histogram_percentiles_exact_when_small():
+    hist = LatencyHistogram()
+    hist.extend(float(i) for i in range(101))
+    assert hist.percentile(0) == 0.0
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(100) == 100.0
+    assert hist.median == 50.0
+
+
+def test_histogram_percentile_interpolates():
+    hist = LatencyHistogram()
+    hist.extend([0.0, 10.0])
+    assert hist.percentile(50) == 5.0
+
+
+def test_histogram_empty():
+    hist = LatencyHistogram()
+    assert hist.mean == 0.0
+    assert hist.percentile(99) == 0.0
+    assert len(hist) == 0
+
+
+def test_histogram_percentile_range_validated():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+
+
+def test_histogram_reservoir_bounds_memory():
+    hist = LatencyHistogram(reservoir_size=100)
+    hist.extend(float(i) for i in range(10_000))
+    assert hist.count == 10_000
+    assert len(hist.samples()) == 100
+    # Exact stats still exact.
+    assert hist.min == 0.0 and hist.max == 9999.0
+
+
+def test_histogram_reservoir_approximates_percentiles():
+    hist = LatencyHistogram(reservoir_size=2_000, seed=1)
+    hist.extend(float(i % 1000) for i in range(50_000))
+    assert abs(hist.median - 500.0) < 60.0
+
+
+def test_histogram_summary_keys():
+    hist = LatencyHistogram()
+    hist.extend([5.0] * 10)
+    summary = hist.summary(percentiles=(50, 99))
+    assert set(summary) == {"count", "mean", "min", "max", "p50", "p99"}
+
+
+def test_histogram_rejects_bad_reservoir():
+    with pytest.raises(ValueError):
+        LatencyHistogram(reservoir_size=0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_histogram_percentiles_monotonic(values):
+    hist = LatencyHistogram()
+    hist.extend(values)
+    pcts = [hist.percentile(p) for p in (0, 25, 50, 75, 90, 99, 100)]
+    assert pcts == sorted(pcts)
+    assert pcts[0] >= hist.min and pcts[-1] <= hist.max
+
+
+# -- Telemetry -----------------------------------------------------------------
+
+def _telemetry(now=(0.0,)):
+    t = Telemetry()
+    state = {"now": 0.0}
+    t.attach_clock(lambda: state["now"])
+    return t, state
+
+
+def test_syscall_counting_per_machine():
+    t, _ = _telemetry()
+    t.count_syscall("mid", "futex")
+    t.count_syscall("mid", "futex")
+    t.count_syscall("leaf", "read")
+    assert t.syscall_counts("mid")["futex"] == 2
+    assert t.syscall_counts("leaf")["read"] == 1
+    assert t.syscall_counts("other") == {}
+
+
+def test_window_trims_earlier_records():
+    t, state = _telemetry()
+    t.count_syscall("m", "futex")
+    t.record_runqlat("m", 5.0)
+    state["now"] = 100.0
+    t.open_window(50.0)
+    assert t.syscall_counts("m")["futex"] == 0
+    assert "m" not in t.runqlat
+    t.count_syscall("m", "futex")
+    assert t.syscall_counts("m")["futex"] == 1
+
+
+def test_records_before_window_start_ignored():
+    t, state = _telemetry()
+    t.open_window(50.0)
+    state["now"] = 10.0  # before the window opens
+    t.count_syscall("m", "futex")
+    t.record_runqlat("m", 5.0)
+    t.count_context_switch("m")
+    t.count_hitm("m")
+    t.count_retransmission()
+    assert t.syscall_counts("m")["futex"] == 0
+    assert t.context_switches["m"] == 0
+    assert t.hitm["m"] == 0
+    assert t.retransmissions == 0
+
+
+def test_irq_kinds_validated():
+    t, _ = _telemetry()
+    for kind in IRQ_KINDS:
+        t.record_irq("m", kind, 1.0)
+    with pytest.raises(ValueError):
+        t.record_irq("m", "bogus", 1.0)
+
+
+def test_irq_hist_accumulates():
+    t, _ = _telemetry()
+    t.record_irq("m", "net_rx", 3.0)
+    t.record_irq("m", "net_rx", 5.0)
+    assert t.irq_hist("m", "net_rx").count == 2
+    assert t.irq_hist("m", "hardirq").count == 0
+
+
+def test_named_histograms_and_counters():
+    t, _ = _telemetry()
+    t.record("e2e", 100.0)
+    t.record("e2e", 200.0)
+    t.incr("completed", 2)
+    assert t.hist("e2e").count == 2
+    assert t.counters["completed"] == 2
+
+
+def test_hitm_counts_batches():
+    t, _ = _telemetry()
+    t.count_hitm("m", 5)
+    t.count_hitm("m")
+    assert t.hitm["m"] == 6

@@ -1,0 +1,80 @@
+"""Tests for the YCSB core-workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data.kvtrace import YCSB_WORKLOADS, YcsbWorkload
+
+
+def _mix(workload, n=4000, **kwargs):
+    trace = YcsbWorkload(workload, n_keys=500, seed=1, **kwargs)
+    ops = trace.ops(n)
+    gets = sum(1 for op in ops if op.op == "get")
+    return trace, ops, gets / n
+
+
+def test_workload_a_is_half_gets():
+    _trace, _ops, get_fraction = _mix("A")
+    assert 0.45 < get_fraction < 0.55
+
+
+def test_workload_b_read_mostly():
+    _trace, _ops, get_fraction = _mix("B")
+    assert 0.92 < get_fraction < 0.98
+
+
+def test_workload_c_read_only():
+    _trace, ops, get_fraction = _mix("C")
+    assert get_fraction == 1.0
+    assert all(op.value is None for op in ops)
+
+
+def test_workload_d_inserts_new_keys_and_reads_latest():
+    trace, ops, get_fraction = _mix("D", n=6000)
+    assert 0.92 < get_fraction < 0.98
+    inserts = [op for op in ops if op.op == "set"]
+    # Every insert is a brand-new key beyond the preload range.
+    ids = [int(op.key.split(":")[1]) for op in inserts]
+    assert min(ids) >= 500
+    assert len(set(ids)) == len(ids)
+    # Reads skew toward recent keys: mean read id above the key-space middle.
+    read_ids = [int(op.key.split(":")[1]) for op in ops if op.op == "get"]
+    assert sum(read_ids) / len(read_ids) > 250
+
+
+def test_workload_f_read_modify_write_pairs():
+    _trace, ops, _frac = _mix("F", n=2000)
+    # Every set must immediately follow a get of the same key.
+    for i, op in enumerate(ops):
+        if op.op == "set":
+            assert i > 0
+            assert ops[i - 1].op == "get"
+            assert ops[i - 1].key == op.key
+
+
+def test_workload_a_lowercase_accepted():
+    trace = YcsbWorkload("a", n_keys=10, seed=0)
+    assert trace.workload == "A"
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        YcsbWorkload("E")  # scans unsupported by memcached protocol
+    with pytest.raises(ValueError):
+        YcsbWorkload("Z")
+
+
+def test_all_declared_workloads_generate():
+    for name in YCSB_WORKLOADS:
+        trace = YcsbWorkload(name, n_keys=50, seed=2)
+        ops = trace.ops(100)
+        assert len(ops) == 100
+        assert all(op.op in ("get", "set") for op in ops)
+
+
+def test_zipf_skew_preserved_in_b():
+    _trace, ops, _frac = _mix("B", n=10_000)
+    counts = Counter(op.key for op in ops if op.op == "get")
+    hottest = counts.most_common(1)[0][1]
+    assert hottest > 10_000 / 500 * 5  # far above the uniform share
