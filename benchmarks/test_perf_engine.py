@@ -1,0 +1,28 @@
+"""Perf smoke for the simulation engine.
+
+Runs a shortened version of the standard perf cell (HDSearch at 10K QPS)
+and asserts the engine clears a *generous* events/sec floor — roughly an
+order of magnitude below what the optimized engine sustains, so only a
+massive regression (or an accidental O(n) heap scan back on the hot
+path) trips it, not a slow CI machine.
+
+For real numbers on the full cell, run ``usuite perf --output
+BENCH_engine.json``; the committed BENCH_engine.json records the
+before/after of the engine optimization pass.
+"""
+
+from repro.experiments.perf_engine import run_perf
+
+#: Far below the ~140K events/sec the optimized engine sustains.
+MIN_EVENTS_PER_SEC = 15_000.0
+
+
+def test_engine_perf_smoke():
+    report = run_perf(duration_us=60_000.0, warmup_us=30_000.0)
+    assert report.completed > 0
+    assert report.events > 0
+    assert report.simulated_us > 0
+    assert report.events_per_sec >= MIN_EVENTS_PER_SEC, (
+        f"engine throughput regressed: {report.events_per_sec:.0f} events/sec "
+        f"(floor {MIN_EVENTS_PER_SEC:.0f}); run 'usuite perf' to investigate"
+    )

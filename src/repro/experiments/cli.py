@@ -11,6 +11,7 @@ Examples::
     usuite block-poll --service hdsearch
     usuite inline-dispatch --service router
     usuite poolsize --service setalgebra --qps 5000
+    usuite perf --output BENCH_engine.json
     usuite all            # every artifact, in order (slow)
 """
 
@@ -121,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--qps", type=float, default=1_000.0)
     p.add_argument("--sample-every", type=int, default=20)
     p.add_argument("--show", type=int, default=3, help="slowest traces to render")
+
+    p = sub.add_parser("perf", help="engine throughput on the standard 10K QPS cell")
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--qps", type=float, default=10_000.0)
+    p.add_argument("--duration-us", type=float, default=None,
+                   help="measured window (default: the standard cell's 500 ms)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_engine.json)")
+    p.add_argument("--record", choices=["before", "after"], default="after",
+                   help="which slot of the JSON artifact to fill")
 
     p = sub.add_parser("all", help="every artifact in sequence (slow)")
     _add_common(p)
@@ -312,6 +325,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         for trace in slowest:
             print()
             print(trace.render())
+
+    elif command == "perf":
+        from repro.experiments.perf_engine import (
+            PERF_DURATION_US, record_bench, run_perf,
+        )
+
+        report = run_perf(
+            service=args.service, qps=args.qps, seed=args.seed, scale=args.scale,
+            duration_us=args.duration_us if args.duration_us else PERF_DURATION_US,
+        )
+        print("Engine performance")
+        print(report.format())
+        if args.output:
+            data = record_bench(report, path=args.output, slot=args.record)
+            speedup = data.get("speedup")
+            tail = f" (speedup {speedup:g}x)" if speedup else ""
+            print(f"recorded '{args.record}' in {args.output}{tail}")
 
     elif command == "all":
         for sub_command in (

@@ -65,15 +65,25 @@ class Futex:
 
 
 class Mutex:
-    """glibc-style futex mutex, used via ``yield from``."""
+    """glibc-style futex mutex, used via ``yield from``.
 
-    __slots__ = ("name", "futex", "cacheline", "holder")
+    The constant kernel ops (the CAS on the lock cacheline, the contended
+    ``futex(WAIT, expected=2)``, the handoff ``futex(WAKE, 1)``) are
+    interned per mutex: the scheduler only reads op fields, and lock ops
+    dominate the op stream at every load the paper measures, so reusing
+    one instance of each avoids an allocation per acquire/release."""
+
+    __slots__ = ("name", "futex", "cacheline", "holder",
+                 "_op_atomic", "_op_wait_contended", "_op_wake_one")
 
     def __init__(self, name: str = "mutex"):
         self.name = name
         self.futex = Futex(0)
         self.cacheline = Cacheline()
         self.holder: Optional["SimThread"] = None
+        self._op_atomic = AtomicAccess(self.cacheline)
+        self._op_wait_contended = FutexWait(self.futex, expected=2)
+        self._op_wake_one = FutexWake(self.futex, 1)
 
     @property
     def locked(self) -> bool:
@@ -91,34 +101,38 @@ class Mutex:
         """
         locked_state = 1
         while True:
-            yield AtomicAccess(self.cacheline)
+            yield self._op_atomic
             if self.futex.value == 0:
                 # CAS 0 -> locked_state (atomic: no event boundary before set).
                 self.futex.value = locked_state
                 return
             # Mark contended (CAS -> 2) and sleep until a release wakes us.
             self.futex.value = 2
-            yield FutexWait(self.futex, expected=2)
+            yield self._op_wait_contended
             locked_state = 2  # we slept; other waiters may still be queued
 
     def release(self):
         """Generator: unlock, waking one waiter if the lock was contended."""
-        yield AtomicAccess(self.cacheline)
+        yield self._op_atomic
         previous = self.futex.value
         self.futex.value = 0
         if previous == 2:
-            yield FutexWake(self.futex, 1)
+            yield self._op_wake_one
 
 
 class CondVar:
     """glibc-style condition variable, used via ``yield from`` with a Mutex."""
 
-    __slots__ = ("name", "futex", "cacheline")
+    __slots__ = ("name", "futex", "cacheline",
+                 "_op_atomic", "_op_wake_one", "_op_wake_all")
 
     def __init__(self, name: str = "condvar"):
         self.name = name
         self.futex = Futex(0)  # value is a wakeup sequence number
         self.cacheline = Cacheline()
+        self._op_atomic = AtomicAccess(self.cacheline)
+        self._op_wake_one = FutexWake(self.futex, 1)
+        self._op_wake_all = FutexWake(self.futex, WAKE_ALL)
 
     def wait(self, mutex: Mutex, timeout_us: float | None = None):
         """Generator: atomically release ``mutex``, sleep, then re-acquire.
@@ -129,21 +143,22 @@ class CondVar:
         periodic re-wakes of gRPC's deadline-based waits are the paper's
         main source of futex traffic at low load.
         """
-        yield AtomicAccess(self.cacheline)
+        yield self._op_atomic
         seq = self.futex.value
         yield from mutex.release()
-        # Sleeps only if no signal arrived since ``seq`` was read.
+        # Sleeps only if no signal arrived since ``seq`` was read (the
+        # expected value varies per wait, so this op cannot be interned).
         yield FutexWait(self.futex, expected=seq, timeout_us=timeout_us)
         yield from mutex.acquire()
 
     def signal(self):
         """Generator: wake one waiter."""
-        yield AtomicAccess(self.cacheline)
+        yield self._op_atomic
         self.futex.value += 1
-        yield FutexWake(self.futex, 1)
+        yield self._op_wake_one
 
     def broadcast(self):
         """Generator: wake every waiter (the thundering-herd path)."""
-        yield AtomicAccess(self.cacheline)
+        yield self._op_atomic
         self.futex.value += 1
-        yield FutexWake(self.futex, WAKE_ALL)
+        yield self._op_wake_all

@@ -126,7 +126,7 @@ class Machine:
         self.telemetry.record_irq(self.name, "net_rx", softirq)
         # Interrupt handling steals cycles from whatever runs on that core.
         self.scheduler.steal_cpu(irq_core, hardirq + softirq)
-        self.sim.call_in(hardirq + softirq, self._socket_deliver, packet)
+        self.sim.defer_in(hardirq + softirq, self._socket_deliver, packet)
 
     def _socket_deliver(self, packet: Packet) -> None:
         sock = self._sockets.get(packet.dst[1])

@@ -19,6 +19,13 @@ mechanisms behind that finding:
 The scheduler is also the kernel-op interpreter: it pulls operations from
 thread generators, charges their costs against core time, and implements
 their semantics (futex queues, epoll readiness, eventfd counters).
+
+This module is the hottest Python in the simulator (every kernel op of
+every thread flows through it), so the interpreter paths avoid per-op
+closures and allocations: core occupancy uses an epoch counter instead of
+cancellable timers, blocking-op timeout cleanup passes the wait list
+instead of capturing it in a closure, and the placement policies track
+their minima inline rather than through ``min(key=...)`` lambdas.
 """
 
 from __future__ import annotations
@@ -52,6 +59,11 @@ if TYPE_CHECKING:  # pragma: no cover
 MIN_GRANULARITY_US = 0.5
 
 
+def _return_true() -> bool:
+    """Shared resume hook for futex waits (avoids a lambda per wait)."""
+    return True
+
+
 class Core:
     """One logical CPU: a run queue plus the currently executing thread."""
 
@@ -62,7 +74,9 @@ class Core:
         "idle_since",
         "slice_end",
         "dispatch_pending",
-        "busy_call",
+        "busy_epoch",
+        "busy_then",
+        "busy_args",
         "busy_until",
         "rq_seq",
         "busy_since_tick",
@@ -77,7 +91,11 @@ class Core:
         self.idle_since: Optional[float] = 0.0
         self.slice_end = 0.0
         self.dispatch_pending = False
-        self.busy_call = None
+        # Occupancy continuation: epoch-stamped so interrupt CPU-steal can
+        # invalidate an in-flight completion without heap surgery.
+        self.busy_epoch = 0
+        self.busy_then: Optional[Callable] = None
+        self.busy_args: tuple = ()
         self.busy_until = 0.0
         self.rq_seq = 0
         self.busy_since_tick = False
@@ -104,12 +122,15 @@ class Core:
 
     def min_vruntime(self) -> float:
         """Lowest vruntime present on this core (for enqueue normalization)."""
-        candidates = []
+        current = self.current
         if self.runqueue:
-            candidates.append(self.runqueue[0][0])
-        if self.current is not None:
-            candidates.append(self.current.vruntime)
-        return min(candidates) if candidates else 0.0
+            queued = self.runqueue[0][0]
+            if current is not None and current.vruntime < queued:
+                return current.vruntime
+            return queued
+        if current is not None:
+            return current.vruntime
+        return 0.0
 
 
 class PlacementPolicy:
@@ -155,7 +176,15 @@ class WakeAffinityPlacement(PlacementPolicy):
                     fallback_idle = core
         if fallback_idle is not None:
             return fallback_idle
-        return min(cores, key=lambda c: (c.load, c.index))
+        # Least-loaded, index as tie-break (tracked inline: this runs on
+        # every saturated wakeup).
+        best = cores[0]
+        best_load = best.load
+        for core in cores:
+            load = core.load
+            if load < best_load:
+                best, best_load = core, load
+        return best
 
 
 class RandomPlacement(PlacementPolicy):
@@ -189,7 +218,14 @@ class WorstFitPlacement(PlacementPolicy):
         self.wake_delay_sigma = wake_delay_sigma
 
     def choose_core(self, thread: SimThread, cores: Sequence[Core], rng) -> Core:
-        return max(cores, key=lambda c: (c.load, -c.index))
+        # max by (load, -index): highest load, lowest index on ties.
+        best = cores[0]
+        best_load = best.load
+        for core in cores[1:]:
+            load = core.load
+            if load > best_load:
+                best, best_load = core, load
+        return best
 
     def wake_delay_us(self, rng) -> float:
         if self.wake_delay_median_us <= 0:
@@ -217,6 +253,9 @@ class Scheduler:
         ]
         self.rng = machine.rng.py(f"sched:{machine.name}")
         self.threads: List[SimThread] = []
+        # Hot-path caches: the telemetry hub and machine name never change.
+        self._telemetry = machine.telemetry
+        self._mname = machine.name
         self._handlers = {
             Compute: self._op_compute,
             AtomicAccess: self._op_atomic,
@@ -237,11 +276,11 @@ class Scheduler:
         return self.machine.telemetry
 
     def _count_syscall(self, name: str) -> None:
-        self.telemetry.count_syscall(self.machine.name, name)
+        self._telemetry.count_syscall(self._mname, name)
 
     def _softirq_sample(self, kind: str, median: float, sigma: float) -> float:
         latency = lognormal_from_median_sigma(self.rng, median, sigma)
-        self.telemetry.record_irq(self.machine.name, kind, latency)
+        self._telemetry.record_irq(self._mname, kind, latency)
         return latency
 
     # -- thread lifecycle ------------------------------------------------------
@@ -255,18 +294,23 @@ class Scheduler:
 
     def make_runnable(self, thread: SimThread) -> None:
         """Wake path: enqueue per policy and kick the target core."""
-        if thread.state not in (ThreadState.NEW, ThreadState.BLOCKED, ThreadState.RUNNING):
-            raise RuntimeError(f"cannot wake {thread} in state {thread.state}")
-        if thread.wait_timer is not None:
-            thread.wait_timer.cancel()
+        state = thread.state
+        if state is not ThreadState.BLOCKED and state is not ThreadState.NEW \
+                and state is not ThreadState.RUNNING:
+            raise RuntimeError(f"cannot wake {thread} in state {state}")
+        timer = thread.wait_timer
+        if timer is not None:
+            timer.cancel()
             thread.wait_timer = None
         thread.state = ThreadState.RUNNABLE
-        thread.runnable_since = self.sim.now
+        thread.runnable_since = self.sim._now
         thread.block_reason = None
         core = self.policy.choose_core(thread, self.cores, self.rng)
         # CFS enqueue normalization: don't let long sleepers starve others,
         # don't let them win everything either.
-        thread.vruntime = max(thread.vruntime, core.min_vruntime() - 1000.0)
+        floor = core.min_vruntime() - 1000.0
+        if thread.vruntime < floor:
+            thread.vruntime = floor
         core.push(thread)
         # A wakeup raises a SCHED softirq (IPI + resched bookkeeping).
         self._softirq_sample(
@@ -284,7 +328,7 @@ class Scheduler:
             + self.policy.wake_delay_us(self.rng)
             + self.costs.runq_per_waiter_us * len(core.runqueue)
         )
-        self.sim.call_in(delay, self._dispatch, core)
+        self.sim.defer_in(delay, self._dispatch, core)
 
     def _dispatch(self, core: Core) -> None:
         core.dispatch_pending = False
@@ -293,11 +337,11 @@ class Scheduler:
         thread = core.pop()
         if thread is None:
             if core.idle_since is None:
-                core.idle_since = self.sim.now
+                core.idle_since = self.sim._now
             return
         core.current = thread
         if core.idle_since is not None:
-            idle_time = self.sim.now - core.idle_since
+            idle_time = self.sim._now - core.idle_since
             exit_latency, _state = self.costs.cstate_exit_latency(idle_time)
             switch_cost = exit_latency + self.costs.runq_dispatch_us
             core.idle_since = None
@@ -308,17 +352,16 @@ class Scheduler:
                 core.freq_factor = min_f + (core.freq_factor - min_f) * decay
         else:
             switch_cost = self.costs.context_switch_us
-        self.telemetry.count_context_switch(self.machine.name)
+        self._telemetry.count_context_switch(self._mname)
         core.busy_since_tick = True
         self._occupy(core, switch_cost, self._begin_run, core, thread)
 
     def _begin_run(self, core: Core, thread: SimThread) -> None:
         thread.state = ThreadState.RUNNING
         thread.last_core = core.index
-        self.telemetry.record_runqlat(
-            self.machine.name, self.sim.now - thread.runnable_since
-        )
-        core.slice_end = self.sim.now + self.costs.timeslice_us
+        now = self.sim._now
+        self._telemetry.record_runqlat(self._mname, now - thread.runnable_since)
+        core.slice_end = now + self.costs.timeslice_us
         if thread.pending_compute > 0.0:
             remaining = thread.pending_compute
             thread.pending_compute = 0.0
@@ -332,7 +375,7 @@ class Scheduler:
     def _advance(self, core: Core, thread: SimThread) -> None:
         """Pull and interpret the thread's next kernel op."""
         # Op-boundary preemption check.
-        if self.sim.now >= core.slice_end and core.runqueue:
+        if self.sim._now >= core.slice_end and core.runqueue:
             self._preempt(core, thread, remaining_compute=0.0)
             return
         try:
@@ -341,9 +384,10 @@ class Scheduler:
             self._thread_exit(core, thread)
             return
         thread.send_value = None
-        handler = self._handlers.get(type(op))
-        if handler is None:
-            raise TypeError(f"{thread} yielded unknown op {op!r}")
+        try:
+            handler = self._handlers[op.__class__]
+        except KeyError:
+            raise TypeError(f"{thread} yielded unknown op {op!r}") from None
         handler(core, thread, op)
 
     def _thread_exit(self, core: Core, thread: SimThread) -> None:
@@ -355,40 +399,60 @@ class Scheduler:
         if core.runqueue:
             self._dispatch(core)
         else:
-            core.idle_since = self.sim.now
+            core.idle_since = self.sim._now
 
     def _preempt(self, core: Core, thread: SimThread, remaining_compute: float) -> None:
         thread.pending_compute = remaining_compute
         thread.state = ThreadState.RUNNABLE
-        thread.runnable_since = self.sim.now
+        thread.runnable_since = self.sim._now
         core.push(thread)  # preempted threads stay on their core
         self._switch_away(core)
 
     # -- core occupancy --------------------------------------------------------
     def _occupy(self, core: Core, cost: float, then: Callable, *args) -> None:
-        """Occupy ``core`` for ``cost`` µs, then continue with ``then``."""
-        core.busy_until = self.sim.now + cost
-        core.busy_call = self.sim.call_in(cost, self._occupy_done, core, then, args)
+        """Occupy ``core`` for ``cost`` µs, then continue with ``then``.
 
-    def _occupy_done(self, core: Core, then: Callable, args: tuple) -> None:
-        core.busy_call = None
+        The continuation is epoch-stamped rather than held in a cancellable
+        timer: CPU-steal bumps the epoch and re-defers, and the stale heap
+        entry no-ops when popped.
+        """
+        core.busy_until = self.sim._now + cost
+        core.busy_epoch += 1
+        core.busy_then = then
+        core.busy_args = args
+        self.sim.defer_at(core.busy_until, self._occupy_done, core, core.busy_epoch)
+
+    def _occupy_done(self, core: Core, epoch: int) -> None:
+        if core.busy_epoch != epoch:
+            return  # superseded by a CPU-steal extension
+        then = core.busy_then
+        args = core.busy_args
+        core.busy_then = None
+        core.busy_args = ()
         then(*args)
 
     def steal_cpu(self, core_index: int, cost: float) -> None:
         """Interrupt handling steals CPU from whatever the core is doing."""
         core = self.cores[core_index]
         core.busy_since_tick = True
-        call = core.busy_call
-        if call is None or call.cancelled:
+        if core.busy_then is None:
             return
-        call.cancel()
+        core.busy_epoch += 1
         core.busy_until += cost
-        core.busy_call = self.sim.call_at(core.busy_until, call.fn, *call.args)
+        self.sim.defer_at(core.busy_until, self._occupy_done, core, core.busy_epoch)
 
     def least_busy_irq_core(self, limit: int) -> int:
         """Index of the least-loaded core among the first ``limit`` cores."""
-        eligible = self.cores[: max(1, limit)]
-        return min(eligible, key=lambda c: (c.load, c.index)).index
+        cores = self.cores
+        if limit < 1:
+            limit = 1
+        best = cores[0]
+        best_load = best.load
+        for core in cores[1:limit]:
+            load = core.load
+            if load < best_load:
+                best, best_load = core, load
+        return best.index
 
     # -- blocking helper ---------------------------------------------------------
     def _block(
@@ -398,8 +462,10 @@ class Scheduler:
         reason: str,
         resume_hook: Optional[Callable[[], object]],
         timeout_us: Optional[float],
-        on_timeout: Optional[Callable[[SimThread], None]],
+        waitlist: Optional[list],
     ) -> None:
+        """Park ``thread``; on timeout it is removed from ``waitlist`` (if
+        given) and made runnable again."""
         thread.state = ThreadState.BLOCKED
         thread.block_reason = reason
         thread.resume_hook = resume_hook
@@ -407,15 +473,20 @@ class Scheduler:
             "block", self.costs.softirq_block_median_us, self.costs.softirq_block_sigma
         )
         if timeout_us is not None:
-            thread.wait_timer = self.sim.call_in(timeout_us, self._wait_timeout, thread, on_timeout)
+            thread.wait_timer = self.sim.call_in(
+                timeout_us, self._wait_timeout, thread, waitlist
+            )
         self._switch_away(core)
 
-    def _wait_timeout(self, thread: SimThread, on_timeout) -> None:
+    def _wait_timeout(self, thread: SimThread, waitlist: Optional[list]) -> None:
         if thread.state is not ThreadState.BLOCKED:
             return
         thread.wait_timer = None
-        if on_timeout is not None:
-            on_timeout(thread)
+        if waitlist is not None:
+            try:
+                waitlist.remove(thread)
+            except ValueError:
+                pass
         self.make_runnable(thread)
 
     # -- op handlers --------------------------------------------------------------
@@ -429,9 +500,9 @@ class Scheduler:
             us = us / core.freq_factor
             ramp = math.exp(-us / self.costs.dvfs_ramp_us)
             core.freq_factor = 1.0 - (1.0 - core.freq_factor) * ramp
-        available = core.slice_end - self.sim.now
+        available = core.slice_end - self.sim._now
         if us > available and core.runqueue:
-            run_for = max(available, MIN_GRANULARITY_US)
+            run_for = available if available > MIN_GRANULARITY_US else MIN_GRANULARITY_US
             thread.vruntime += run_for
             self._occupy(core, run_for, self._preempt, core, thread, us - run_for)
         else:
@@ -447,7 +518,7 @@ class Scheduler:
         previous = line.last_core
         if previous is not None and previous != core.index:
             remote = self.cores[previous].socket != core.socket
-            self.telemetry.count_hitm(self.machine.name, remote=remote)
+            self._telemetry.count_hitm(self._mname, remote=remote)
             line.last_core = core.index
             return (
                 self.costs.hitm_remote_transfer_us
@@ -477,21 +548,15 @@ class Scheduler:
             thread.send_value = False
             self._advance(core, thread)
             return
-        op.futex.waiters.append(thread)
-
-        def on_timeout(t: SimThread) -> None:
-            try:
-                op.futex.waiters.remove(t)
-            except ValueError:
-                pass
-
+        waiters = op.futex.waiters
+        waiters.append(thread)
         self._block(
             core,
             thread,
             reason="futex",
-            resume_hook=lambda: True,
+            resume_hook=_return_true,
             timeout_us=op.timeout_us,
-            on_timeout=on_timeout,
+            waitlist=waiters,
         )
 
     def _op_futex_wake(self, core: Core, thread: SimThread, op: FutexWake) -> None:
@@ -503,14 +568,15 @@ class Scheduler:
         self._occupy(core, cost, self._futex_wake_body, core, thread, op)
 
     def _futex_wake_body(self, core: Core, thread: SimThread, op: FutexWake) -> None:
-        n = min(op.n, len(op.futex.waiters)) if op.n != WAKE_ALL else len(op.futex.waiters)
+        waiters = op.futex.waiters
+        n = min(op.n, len(waiters)) if op.n != WAKE_ALL else len(waiters)
         woken = 0
         for _ in range(n):
-            waiter = op.futex.waiters.pop(0)
+            waiter = waiters.pop(0)
             self.make_runnable(waiter)
             woken += 1
         if woken:
-            self.telemetry.count_contended_wake(self.machine.name)
+            self._telemetry.count_contended_wake(self._mname)
         thread.send_value = woken
         self._advance(core, thread)
 
@@ -530,21 +596,15 @@ class Scheduler:
             thread.send_value = []
             self._advance(core, thread)
             return
-        op.epoll.waiters.append(thread)
-
-        def on_timeout(t: SimThread) -> None:
-            try:
-                op.epoll.waiters.remove(t)
-            except ValueError:
-                pass
-
+        waiters = op.epoll.waiters
+        waiters.append(thread)
         self._block(
             core,
             thread,
             reason="epoll",
             resume_hook=op.epoll.snapshot_ready,
             timeout_us=op.timeout_us,
-            on_timeout=on_timeout,
+            waitlist=waiters,
         )
 
     def wake_epoll_waiters(self, waiters: List[SimThread]) -> None:
@@ -605,21 +665,15 @@ class Scheduler:
             thread.send_value = op.efd.consume()
             self._advance(core, thread)
             return
-        op.efd.readers.append(thread)
-
-        def on_timeout(t: SimThread) -> None:  # pragma: no cover - unused path
-            try:
-                op.efd.readers.remove(t)
-            except ValueError:
-                pass
-
+        readers = op.efd.readers
+        readers.append(thread)
         self._block(
             core,
             thread,
             reason="eventfd",
             resume_hook=op.efd.consume,
             timeout_us=None,
-            on_timeout=on_timeout,
+            waitlist=readers,
         )
 
     def _op_nanosleep(self, core: Core, thread: SimThread, op: Nanosleep) -> None:
@@ -632,7 +686,7 @@ class Scheduler:
         thread.state = ThreadState.BLOCKED
         thread.block_reason = "nanosleep"
         thread.resume_hook = None
-        self.sim.call_in(op.us, self._sleep_expired, thread)
+        self.sim.defer_in(op.us, self._sleep_expired, thread)
         self._switch_away(core)
 
     def _sleep_expired(self, thread: SimThread) -> None:
@@ -650,6 +704,6 @@ class Scheduler:
             self._advance(core, thread)
             return
         thread.state = ThreadState.RUNNABLE
-        thread.runnable_since = self.sim.now
+        thread.runnable_since = self.sim._now
         core.push(thread)
         self._switch_away(core)

@@ -117,7 +117,7 @@ class OpenLoopLoadGen(_ClientBase):
         if self._stopped:
             return
         gap = exponential(self.rng, self._mean_gap_us)
-        self.sim.call_in(gap, self._fire)
+        self.sim.defer_in(gap, self._fire)
 
     def _fire(self) -> None:
         if self._stopped:

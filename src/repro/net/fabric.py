@@ -110,7 +110,7 @@ class Fabric:
             # rare enough to ignore (the paper sees single-digit counts).
             self.telemetry.count_retransmission()
             packet.retransmitted = True
-            self.sim.call_in(link.rto_us, self._transmit, packet)
+            self.sim.defer_in(link.rto_us, self._transmit, packet)
             return
         delay = (
             packet.extra_delay_us
@@ -119,7 +119,7 @@ class Fabric:
             + exponential(self._rng, link.jitter_mean_us)
         )
         packet.extra_delay_us = 0.0
-        self.sim.call_in(delay, self._arrive, packet)
+        self.sim.defer_in(delay, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
         deliver = self._endpoints.get(packet.dst[0])

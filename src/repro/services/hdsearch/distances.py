@@ -47,26 +47,42 @@ class BinarySignatures:
         rng = np.random.default_rng(seed)
         self._planes = rng.normal(size=(n_bits, dims))
 
+    #: Bit weights for packing 64 sign bits into one word (loop-invariant).
+    _WORD_WEIGHTS = (1 << np.arange(64, dtype=np.uint64)).astype(np.uint64)
+
     def signature(self, vectors: np.ndarray) -> np.ndarray:
         """Pack sign bits: (n, dims) floats → (n, n_words) uint64."""
         single = vectors.ndim == 1
         if single:
             vectors = vectors[None, :]
         bits = (vectors @ self._planes.T) > 0.0  # (n, n_bits)
+        weights = self._WORD_WEIGHTS
         words = np.zeros((vectors.shape[0], self.n_words), dtype=np.uint64)
         for word_index in range(self.n_words):
             chunk = bits[:, word_index * 64 : (word_index + 1) * 64]
-            weights = (1 << np.arange(64, dtype=np.uint64)).astype(np.uint64)
             words[:, word_index] = chunk.astype(np.uint64) @ weights
         return words[0] if single else words
 
 
-def hamming_distances(signatures: np.ndarray, query_sig: np.ndarray) -> np.ndarray:
-    """Popcount of XOR between each row of ``signatures`` and the query."""
-    xor = np.bitwise_xor(signatures, query_sig[None, :])
-    # Vectorized popcount via the unpacked byte view.
-    as_bytes = xor.view(np.uint8)
-    return np.unpackbits(as_bytes, axis=1).sum(axis=1)
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0: hardware popcnt ufunc
+
+    def hamming_distances(signatures: np.ndarray, query_sig: np.ndarray) -> np.ndarray:
+        """Popcount of XOR between each row of ``signatures`` and the query."""
+        xor = np.bitwise_xor(signatures, query_sig[None, :])
+        return np.bitwise_count(xor).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    #: Popcount of every 16-bit value, for a table-lookup fallback.
+    _POPCOUNT16 = np.array(
+        [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
+    )
+
+    def hamming_distances(signatures: np.ndarray, query_sig: np.ndarray) -> np.ndarray:
+        """Popcount of XOR between each row of ``signatures`` and the query."""
+        xor = np.bitwise_xor(signatures, query_sig[None, :])
+        halves = xor.view(np.uint16)
+        return _POPCOUNT16[halves].sum(axis=1, dtype=np.int64)
 
 
 def hamming_topk(

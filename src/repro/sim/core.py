@@ -7,18 +7,35 @@ paper characterizes (context switches, futex calls, interrupt handlers,
 runqueue waits) lives in the single-digit-to-hundreds-of-microseconds
 regime.
 
-The loop is a classic calendar queue built on :mod:`heapq`.  Entries are
-``(time, seq, call)`` tuples; ``seq`` is a monotonically increasing tie
-breaker, so the simulation is fully deterministic for a fixed seed and
-insertion order.  Cancellation is *lazy*: a cancelled :class:`ScheduledCall`
-stays in the heap but is skipped when popped — cheap, and safe because the
-heap never grows without bound in our workloads.
+The loop is a classic calendar queue built on :mod:`heapq`, tuned for the
+millions-of-events runs the figure experiments perform:
+
+* Heap entries are plain tuples, ``(time, seq, call)`` for cancellable
+  entries and ``(time, seq, fn, args)`` for the fire-and-forget fast path
+  (:meth:`Simulation.defer_at` / :meth:`Simulation.defer_in`), so ordering
+  is resolved by C-level float/int comparisons — never a Python ``__lt__``.
+  ``seq`` is a monotonically increasing tie breaker, so the simulation is
+  fully deterministic for a fixed seed and insertion order, and entry
+  comparison never reaches the (incomparable) third element.
+* Cancellation is *lazy*: a cancelled :class:`ScheduledCall` stays in the
+  heap but is skipped when popped.  Workloads with heavy timed-wait churn
+  (the RPC layer's jittered condvar deadlines cancel timers constantly)
+  would bloat the heap, so the loop tracks the cancelled-entry count and
+  compacts the heap in place once cancelled entries dominate.
+* A live-entry counter makes :meth:`Simulation.pending` O(1) and feeds the
+  compaction heuristic.
+* The run loop batch-pops all entries sharing a timestamp, hoisting the
+  clock write and the ``until`` bound check out of the per-entry path.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Compaction triggers once at least this many cancelled entries exist...
+_COMPACT_MIN_CANCELLED = 256
+#: ...and they make up at least half the heap.
 
 
 class SimulationError(RuntimeError):
@@ -28,20 +45,31 @@ class SimulationError(RuntimeError):
 class ScheduledCall:
     """A cancellable callback scheduled at an absolute simulation time."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple,
+                 sim: Optional["Simulation"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference for live-entry accounting; cleared once the entry
+        # leaves the heap so post-fire cancels stay harmless no-ops.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "ScheduledCall") -> bool:
+        # Heap entries are (time, seq, ...) tuples resolved before the call
+        # object is ever compared; kept for explicit sorts in user code.
         return (self.time, self.seq) < (other.time, other.seq)
 
 
@@ -51,8 +79,16 @@ class Simulation:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[ScheduledCall] = []
+        # Mixed (time, seq, call) / (time, seq, fn, args) tuples; seq is
+        # unique, so comparison never reaches the incomparable tail.
+        self._heap: list = []
         self._running = False
+        # Non-cancelled entries currently in the heap (O(1) pending()).
+        self._live = 0
+        # Cancelled-but-unpopped entries (compaction heuristic).
+        self._cancelled = 0
+        #: Callbacks executed since construction (perf accounting).
+        self.executed = 0
 
     @property
     def now(self) -> float:
@@ -60,14 +96,19 @@ class Simulation:
         return self._now
 
     def call_at(self, time: float, fn: Callable[..., None], *args: Any) -> ScheduledCall:
-        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``.
+
+        Returns a cancellable handle; use :meth:`defer_at` when the caller
+        will never cancel (it skips the handle allocation entirely).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
         self._seq += 1
-        entry = ScheduledCall(time, self._seq, fn, args)
-        heapq.heappush(self._heap, entry)
+        entry = ScheduledCall(time, self._seq, fn, args, self)
+        heapq.heappush(self._heap, (time, self._seq, entry))
+        self._live += 1
         return entry
 
     def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> ScheduledCall:
@@ -75,6 +116,46 @@ class Simulation:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, fn, *args)
+
+    def defer_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget fast path: like :meth:`call_at` but allocation-lean.
+
+        No :class:`ScheduledCall` is created, so the timer cannot be
+        cancelled.  The hot layers (network delivery, load generation,
+        scheduler dispatch) use this for the millions of timers that are
+        never cancelled.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        self._live += 1
+
+    def defer_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`call_in` (see :meth:`defer_at`)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._live += 1
+
+    # -- cancellation bookkeeping -----------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) because ``run`` holds a local alias to
+        the heap list.  Determinism is unaffected: pop order is the total
+        order on (time, seq) regardless of heap-internal layout.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if len(e) == 4 or not e[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the event loop.
@@ -86,37 +167,64 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
         try:
-            heap = self._heap
             while heap:
-                entry = heap[0]
-                if entry.cancelled:
-                    heapq.heappop(heap)
-                    continue
-                if until is not None and entry.time > until:
+                when = heap[0][0]
+                if until is not None and when > until:
                     break
-                heapq.heappop(heap)
-                self._now = entry.time
-                entry.fn(*entry.args)
+                # Batch: drain every entry stamped ``when`` with the clock
+                # written once and the ``until`` bound already checked.
+                self._now = when
+                while heap and heap[0][0] == when:
+                    entry = pop(heap)
+                    if len(entry) == 4:
+                        self._live -= 1
+                        executed += 1
+                        entry[2](*entry[3])
+                    else:
+                        call = entry[2]
+                        call._sim = None
+                        if call.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._live -= 1
+                        executed += 1
+                        call.fn(*call.args)
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self.executed += executed
             self._running = False
 
     def step(self) -> bool:
         """Execute the single next pending callback.  Returns False if none."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:
+                self._now = entry[0]
+                self._live -= 1
+                self.executed += 1
+                entry[2](*entry[3])
+                return True
+            call = entry[2]
+            call._sim = None
+            if call.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = entry.time
-            entry.fn(*entry.args)
+            self._now = entry[0]
+            self._live -= 1
+            self.executed += 1
+            call.fn(*call.args)
             return True
         return False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) scheduled callbacks."""
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        """Number of live (non-cancelled) scheduled callbacks.  O(1)."""
+        return self._live
 
 
 class Event:
@@ -181,7 +289,11 @@ class Timeout(Event):
     def __init__(self, sim: Simulation, delay: float, value: Any = None):
         super().__init__(sim)
         self.delay = delay
-        sim.call_in(delay, self._fire, value)
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        # Fire-and-forget: _fire checks `triggered`, so no cancel handle is
+        # needed — avoids a ScheduledCall per timed wait.
+        sim.defer_in(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         if not self.triggered:
@@ -213,17 +325,16 @@ class Process(Event):
         self.name = name
         self._waiting_on: Optional[Event] = None
         # Start on the next loop iteration so the creator can finish wiring up.
-        sim.call_in(0.0, self._resume, None, None)
+        sim.defer_in(0.0, self._resume, None, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield point."""
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        waiting = self._waiting_on
         self._waiting_on = None
         # The stale event may still trigger later; _on_event ignores it
         # because _waiting_on no longer points at it.
-        self.sim.call_in(0.0, self._resume, None, Interrupt(cause))
+        self.sim.defer_in(0.0, self._resume, None, Interrupt(cause))
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:
@@ -251,9 +362,27 @@ class Process(Event):
             self.fail(exc)
             return
         if not isinstance(target, Event):
-            self.gen.throw(
-                SimulationError(f"process {self.name} yielded non-event: {target!r}")
-            )
+            # Misuse: throw a descriptive error into the generator so its
+            # cleanup runs, but contain whatever escapes (the throw itself
+            # re-raises when uncaught, and a generator that catches it and
+            # returns raises StopIteration) — either way the process must
+            # terminate like the other error paths instead of letting the
+            # exception unwind the event loop.
+            try:
+                self.gen.throw(
+                    SimulationError(f"process {self.name} yielded non-event: {target!r}")
+                )
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except SimulationError as exc:
+                self.fail(exc)
+            except Exception as exc:
+                self.fail(exc)
+            else:
+                # The generator swallowed the error and yielded again.
+                self.fail(SimulationError(
+                    f"process {self.name} kept yielding after a non-event"
+                ))
             return
         self._waiting_on = target
         target.add_callback(self._on_event)

@@ -33,7 +33,7 @@ class SimCluster:
     ):
         self.sim = Simulation()
         self.telemetry = Telemetry(reservoir_size=reservoir_size)
-        self.telemetry.attach_clock(lambda: self.sim.now)
+        self.telemetry.attach_clock(lambda: self.sim.now, sim=self.sim)
         self.rng = RngStreams(seed)
         self.fabric = Fabric(self.sim, self.telemetry, self.rng, link=link)
         self.costs = costs or OsCosts()

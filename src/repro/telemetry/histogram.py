@@ -12,55 +12,135 @@ class LatencyHistogram:
     Tracks exact count / sum / min / max and keeps up to ``reservoir_size``
     samples (uniform reservoir sampling) for percentile estimation.  For
     runs below the reservoir size the percentiles are exact.
+
+    Recording is the probe layer's innermost loop (runqlat and softirq
+    samples arrive once per scheduler event), so the common case — fewer
+    samples than the reservoir holds — is a bare ``list.append``; the exact
+    count/sum/min/max are computed lazily from the buffer with C-speed
+    builtins.  Once the reservoir fills, recording switches to the classic
+    per-sample algorithm, consuming the RNG in exactly the same order as a
+    sample-at-a-time implementation (bit-identical percentiles).
     """
+
+    __slots__ = (
+        "reservoir_size",
+        "_seed",
+        "_rng",
+        "_samples",
+        "_sampling",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_sorted_cache",
+    )
 
     def __init__(self, reservoir_size: int = 100_000, seed: int = 0):
         if reservoir_size <= 0:
             raise ValueError("reservoir_size must be positive")
         self.reservoir_size = reservoir_size
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-        self._samples: List[float] = []
+        self._seed = seed
         self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        # False while the buffer still holds every sample; True once the
+        # reservoir is full and per-sample replacement has begun.
+        self._sampling = False
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
         self._sorted_cache: Optional[List[float]] = None
 
+    def reset(self) -> None:
+        """Forget every sample; the RNG restarts from the seed so a reset
+        histogram behaves identically to a freshly constructed one."""
+        self._rng = random.Random(self._seed)
+        self._samples.clear()
+        self._sampling = False
+        self._count = 0
+        self._total = 0.0
+        self._min = None
+        self._max = None
+        self._sorted_cache = None
+
+    # -- recording ---------------------------------------------------------
     def record(self, value: float) -> None:
         """Add one latency sample (microseconds)."""
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        if not self._sampling:
+            samples = self._samples
+            samples.append(value)
+            self._sorted_cache = None
+            if len(samples) >= self.reservoir_size:
+                self._seal()
+            return
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         self._sorted_cache = None
-        if len(self._samples) < self.reservoir_size:
-            self._samples.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self.reservoir_size:
-                self._samples[slot] = value
+        slot = self._rng.randrange(self._count)
+        if slot < self.reservoir_size:
+            self._samples[slot] = value
+
+    def _seal(self) -> None:
+        """Reservoir is full: fold the buffer into exact running stats and
+        switch to per-sample reservoir replacement."""
+        samples = self._samples
+        self._count = len(samples)
+        self._total = sum(samples)  # left-to-right, same order as += per sample
+        self._min = min(samples)
+        self._max = max(samples)
+        self._sampling = True
 
     def extend(self, values: Iterable[float]) -> None:
         """Add many samples."""
+        record = self.record
         for value in values:
-            self.record(value)
+            record(value)
+
+    # -- exact stats -------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total samples recorded."""
+        return self._count if self._sampling else len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded samples."""
+        return self._total if self._sampling else sum(self._samples)
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest sample (None when empty)."""
+        if self._sampling:
+            return self._min
+        return min(self._samples) if self._samples else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest sample (None when empty)."""
+        if self._sampling:
+            return self._max
+        return max(self._samples) if self._samples else None
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all recorded samples (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        count = self.count
+        return self.total / count if count else 0.0
 
+    # -- percentiles -------------------------------------------------------
     def percentile(self, pct: float) -> float:
         """Estimate the ``pct``-th percentile (0..100) from the reservoir."""
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
         if not self._samples:
             return 0.0
-        if self._sorted_cache is None:
-            self._sorted_cache = sorted(self._samples)
         ordered = self._sorted_cache
+        if ordered is None:
+            ordered = self._sorted_cache = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
         # Linear interpolation between closest ranks.

@@ -24,6 +24,7 @@ class Telemetry:
         self.reservoir_size = reservoir_size
         self.window_start: float = 0.0
         self._clock = lambda: 0.0  # replaced via attach_clock
+        self._sim = None  # fast clock: set when attach_clock receives a Simulation
         self.syscalls: Dict[str, Counter] = {}
         self.runqlat: Dict[str, LatencyHistogram] = {}
         self.irq_latency: Dict[Tuple[str, str], LatencyHistogram] = {}
@@ -39,13 +40,21 @@ class Telemetry:
         self.events: List[Tuple[float, str]] = []
 
     # -- wiring ----------------------------------------------------------
-    def attach_clock(self, clock) -> None:
-        """Attach a zero-arg callable returning current simulation time."""
+    def attach_clock(self, clock, sim=None) -> None:
+        """Attach a zero-arg callable returning current simulation time.
+
+        Passing the :class:`~repro.sim.core.Simulation` as ``sim`` lets the
+        hot probes read the clock attribute directly instead of through a
+        callable — probes fire once per scheduler event, so the indirection
+        is measurable."""
         self._clock = clock
+        self._sim = sim
 
     def in_window(self) -> bool:
         """True when current time is inside the measurement window."""
-        return self._clock() >= self.window_start
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        return now >= self.window_start
 
     def open_window(self, start: float) -> None:
         """Discard everything recorded before ``start`` (warm-up trim)."""
@@ -65,7 +74,8 @@ class Telemetry:
     # -- kernel probes ----------------------------------------------------
     def count_syscall(self, machine: str, name: str) -> None:
         """eBPF ``syscount`` equivalent."""
-        if not self.in_window():
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) < self.window_start:
             return
         per_machine = self.syscalls.get(machine)
         if per_machine is None:
@@ -75,7 +85,8 @@ class Telemetry:
 
     def record_runqlat(self, machine: str, latency_us: float) -> None:
         """eBPF ``runqlat`` equivalent: Active→Exe scheduler wait."""
-        if not self.in_window():
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) < self.window_start:
             return
         hist = self.runqlat.get(machine)
         if hist is None:
@@ -87,7 +98,8 @@ class Telemetry:
         """eBPF ``hardirqs``/``softirqs`` equivalent."""
         if kind not in IRQ_KINDS:
             raise ValueError(f"unknown irq kind: {kind}")
-        if not self.in_window():
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) < self.window_start:
             return
         key = (machine, kind)
         hist = self.irq_latency.get(key)
@@ -107,7 +119,8 @@ class Telemetry:
         ``remote`` marks cross-socket transfers (PEBS distinguishes local
         vs remote HITM); they count toward the total *and* the remote
         counter."""
-        if self.in_window():
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) >= self.window_start:
             self.hitm[machine] += n
             if remote:
                 self.hitm_remote[machine] += n
@@ -133,8 +146,13 @@ class Telemetry:
 
     def record(self, name: str, value: float) -> None:
         """Record into the named histogram if inside the window."""
-        if self.in_window():
-            self.hist(name).record(value)
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) >= self.window_start:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = LatencyHistogram(self.reservoir_size)
+                self.histograms[name] = hist
+            hist.record(value)
 
     def incr(self, name: str, n: int = 1) -> None:
         """Increment a named counter if inside the window."""

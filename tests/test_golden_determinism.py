@@ -1,0 +1,65 @@
+"""Golden-value determinism guard for the figure experiments.
+
+Engine optimizations must be *behavior-preserving*: for a fixed seed the
+simulation must consume randomness in the same order, pop events in the
+same order, and therefore reproduce every figure metric bit-for-bit.
+These values were captured from the pre-optimization engine; any drift
+here means an "optimization" changed simulated behavior, not just speed.
+
+The load-generator instance counter is process-global (it names the
+client's RNG stream), so each cell pins it before building its cluster.
+The cells use short windows so the guard stays cheap enough for tier 1.
+"""
+
+import pytest
+
+from repro.experiments.characterize import characterize
+from repro.loadgen.client import _ClientBase
+
+
+def _characterize_cell(service: str, qps: float):
+    _ClientBase._instances = 0
+    return characterize(
+        service, qps, scale="small", seed=0,
+        duration_us=120_000.0, warmup_us=60_000.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def hdsearch_1k():
+    return _characterize_cell("hdsearch", 1000.0)
+
+
+def test_hdsearch_counts_bit_identical(hdsearch_1k):
+    r = hdsearch_1k
+    assert r.sent == 109
+    assert r.completed == 109
+    assert r.context_switches == 5104
+    assert r.hitm == 13981
+    assert r.retransmissions == 0
+
+
+def test_hdsearch_latency_metrics_bit_identical(hdsearch_1k):
+    r = hdsearch_1k
+    assert r.e2e.count == 109
+    assert r.e2e.mean == 689.4066756064559
+    assert r.e2e.percentile(50) == 686.799181362243
+    assert r.e2e.percentile(99) == 903.6021952644992
+
+
+def test_hdsearch_overhead_metrics_bit_identical(hdsearch_1k):
+    r = hdsearch_1k
+    assert r.overheads["active_exe"].percentile(99) == 86.60000000000582
+    assert r.overheads["sched"].percentile(50) == 1.1926782919078014
+    assert r.syscalls_per_query["futex"] == 45.4954128440367
+
+
+def test_router_metrics_bit_identical():
+    r = _characterize_cell("router", 1000.0)
+    assert r.sent == 109
+    assert r.completed == 109
+    assert r.context_switches == 2225
+    assert r.hitm == 5904
+    assert r.e2e.mean == 428.02994470279106
+    assert r.e2e.percentile(50) == 418.5020823094965
+    assert r.e2e.percentile(99) == 545.5744019678131

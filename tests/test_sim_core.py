@@ -226,6 +226,84 @@ def test_interrupt_then_stale_event_is_ignored():
     assert resumptions == ["interrupt", "second"]
 
 
+def test_defer_in_runs_in_order_with_cancellable_timers():
+    sim = Simulation()
+    seen = []
+    sim.defer_in(5.0, seen.append, "deferred")
+    sim.call_in(1.0, seen.append, "early")
+    sim.defer_in(9.0, seen.append, "late")
+    assert sim.pending() == 3
+    sim.run()
+    assert seen == ["early", "deferred", "late"]
+    assert sim.pending() == 0
+
+
+def test_process_yielding_non_event_fails_cleanly():
+    sim = Simulation()
+
+    def body():
+        yield Timeout(sim, 1.0)
+        yield "not an event"
+
+    proc = Process(sim, body(), name="confused")
+    # The misuse must terminate the process, not unwind the event loop.
+    sim.run()
+    assert proc.triggered
+    assert isinstance(proc.error, SimulationError)
+    assert "non-event" in str(proc.error)
+
+
+def test_process_non_event_error_propagates_to_joiner():
+    sim = Simulation()
+    caught = []
+
+    def child():
+        yield 42
+
+    def parent():
+        try:
+            yield Process(sim, child(), name="child")
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    Process(sim, parent(), name="parent")
+    sim.run()
+    assert len(caught) == 1
+    assert "non-event" in caught[0]
+
+
+def test_process_catching_non_event_error_can_finish():
+    sim = Simulation()
+
+    def body():
+        try:
+            yield object()
+        except SimulationError:
+            return "recovered"
+
+    proc = Process(sim, body(), name="handler")
+    sim.run()
+    assert proc.ok
+    assert proc.value == "recovered"
+
+
+def test_process_yielding_again_after_non_event_error_fails():
+    sim = Simulation()
+
+    def body():
+        try:
+            yield object()
+        except SimulationError:
+            pass
+        yield Timeout(sim, 1.0)  # ignores the error and keeps going
+
+    proc = Process(sim, body(), name="stubborn")
+    sim.run()
+    assert proc.triggered
+    assert isinstance(proc.error, SimulationError)
+    assert "kept yielding" in str(proc.error)
+
+
 def test_all_of_collects_every_value():
     sim = Simulation()
     evts = [Timeout(sim, t, value=t) for t in (3.0, 1.0, 2.0)]

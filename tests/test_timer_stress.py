@@ -1,0 +1,77 @@
+"""Stress the calendar queue: heavy timer churn with lazy cancellation.
+
+The RPC layer cancels timed waits constantly (every completed request
+cancels its deadline timer), so the heap must not grow without bound and
+cancellation must never disturb the (time, seq) pop order or the live
+count.
+"""
+
+import random
+
+from repro.sim import Simulation
+
+
+def test_bulk_cancel_keeps_heap_bounded_and_order_intact():
+    sim = Simulation()
+    rng = random.Random(1234)
+    n = 100_000
+    fired = []
+    handles = []
+    expected = []
+    for i in range(n):
+        when = rng.uniform(0.0, 1_000_000.0)
+        handles.append((when, i, sim.call_at(when, fired.append, i)))
+
+    # Cancel roughly half, scattered across the schedule.
+    cancelled = set()
+    for when, i, handle in handles:
+        if rng.random() < 0.5:
+            handle.cancel()
+            cancelled.add(i)
+    expected = [
+        i for when, i, _handle in sorted(handles, key=lambda h: (h[0], h[1]))
+        if i not in cancelled
+    ]
+
+    # Compaction must have culled the dead entries: cancelled entries can
+    # never make up more than half the heap (plus the trigger threshold).
+    assert sim.pending() == n - len(cancelled)
+    assert len(sim._heap) <= 2 * sim.pending() + 512
+
+    sim.run()
+    assert fired == expected
+    assert sim.pending() == 0
+
+
+def test_interleaved_schedule_and_cancel_tracks_pending_exactly():
+    sim = Simulation()
+    rng = random.Random(99)
+    live = {}
+    fired = []
+    for i in range(20_000):
+        when = sim.now + rng.uniform(0.0, 100.0)
+        live[i] = sim.call_at(when, fired.append, i)
+        if live and rng.random() < 0.45:
+            victim = next(iter(live))  # oldest surviving timer
+            live.pop(victim).cancel()
+        assert sim.pending() == len(live)
+    sim.run()
+    assert sorted(fired) == sorted(live)
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_is_a_harmless_no_op():
+    sim = Simulation()
+    fired = []
+    handles = [sim.call_in(float(i % 7), fired.append, i) for i in range(1000)]
+    sim.run()
+    assert len(fired) == 1000
+    # Late cancels (e.g. a wake racing a timeout) must not corrupt the
+    # live/cancelled accounting of entries no longer in the heap.
+    for handle in handles:
+        handle.cancel()
+    assert sim.pending() == 0
+    sim.call_in(1.0, fired.append, "after")
+    assert sim.pending() == 1
+    sim.run()
+    assert fired[-1] == "after"
