@@ -70,16 +70,27 @@ def characterize(
     warmup_us: float = 200_000.0,
     midtier_policy=None,
     scale_overrides: Optional[dict] = None,
+    faults=None,
+    tail_policy=None,
 ) -> CharacterizationResult:
-    """Characterize ``service_name`` at ``qps`` on a fresh cluster."""
+    """Characterize ``service_name`` at ``qps`` on a fresh cluster.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) perturbs the cell;
+    ``tail_policy`` (a :class:`repro.rpc.policy.TailPolicy`) arms the
+    mid-tier's deadline/hedging/retry layer.  Both default to off and the
+    defaults are bit-identical to the stock engine.
+    """
     if isinstance(scale, str):
         scale = SCALES[scale]
     if scale_overrides:
         scale = scale.with_overrides(**scale_overrides)
     if duration_us is None:
         duration_us = default_duration_us(qps)
-    cluster = SimCluster(seed=seed)
-    service = build_service(service_name, cluster, scale, midtier_policy=midtier_policy)
+    cluster = SimCluster(seed=seed, faults=faults)
+    service = build_service(
+        service_name, cluster, scale, midtier_policy=midtier_policy,
+        tail_policy=tail_policy,
+    )
     result = run_open_loop(
         cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
     )
@@ -110,5 +121,7 @@ def characterize(
         extras={
             "request_path": telemetry.hist(f"midtier_reqpath:{mid}"),
             "response_path": telemetry.hist(f"midtier_resppath:{mid}"),
+            "tail": service.midtier.tail_stats(),
+            "counters": dict(telemetry.counters),
         },
     )

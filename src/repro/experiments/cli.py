@@ -12,6 +12,8 @@ Examples::
     usuite inline-dispatch --service router
     usuite poolsize --service setalgebra --qps 5000
     usuite perf --output BENCH_engine.json
+    usuite faults --output BENCH_faults.json
+    usuite figure-smoke --output smoke.json
     usuite all            # every artifact, in order (slow)
 """
 
@@ -135,6 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record", choices=["before", "after"], default="after",
                    help="which slot of the JSON artifact to fill")
 
+    p = sub.add_parser("faults", help="fault injection x tail-tolerance sweep")
+    _add_common(p)
+    _add_services(p)
+    p.add_argument("--qps", type=float, default=10_000.0)
+    p.add_argument("--intensities", nargs="+", type=float, default=[0.02, 0.05])
+    p.add_argument("--duration-us", type=float, default=None,
+                   help="measured window per cell (default: 500 ms)")
+    p.add_argument("--sweep", action="store_true",
+                   help="also run the service x intensity x policy sweep "
+                   "(slow; the default runs only the recovery triple)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_faults.json)")
+
+    p = sub.add_parser("figure-smoke",
+                       help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--services", nargs="+", choices=SERVICE_NAMES,
+                   default=None, help="default: hdsearch router")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the metrics/checks JSON artifact here")
+
     p = sub.add_parser("all", help="every artifact in sequence (slow)")
     _add_common(p)
 
@@ -144,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
+
+    # Validate --scale up front: every run_* helper indexes SCALES, and a
+    # typo'd name should be a clear one-line error, not a KeyError
+    # traceback after seconds of setup.
+    if hasattr(args, "scale"):
+        from repro.suite import SCALES
+
+        if args.scale not in SCALES:
+            print(
+                f"usuite {command}: error: unknown scale {args.scale!r} "
+                f"(choose from: {', '.join(sorted(SCALES))})",
+                file=sys.stderr,
+            )
+            return 2
 
     if command == "fig9":
         from repro.experiments.fig09_saturation import format_fig09, run_fig09
@@ -342,6 +380,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             speedup = data.get("speedup")
             tail = f" (speedup {speedup:g}x)" if speedup else ""
             print(f"recorded '{args.record}' in {args.output}{tail}")
+
+    elif command == "faults":
+        from repro.experiments.fault_sweep import (
+            format_fault_sweep, record_bench, run_fault_sweep, run_recovery,
+        )
+
+        sweep = None
+        if args.sweep:
+            sweep = run_fault_sweep(
+                services=args.services, intensities=args.intensities,
+                qps=args.qps, scale=args.scale, seed=args.seed,
+                duration_us=args.duration_us,
+            )
+            print("Fault sweep — tail amplification, policy off vs on")
+            print(format_fault_sweep(sweep))
+            print()
+        recovery = run_recovery(
+            qps=args.qps, scale=args.scale, seed=args.seed,
+            duration_us=args.duration_us,
+        )
+        print("Tail-tolerance recovery (leaf slowdown)")
+        print(recovery.format())
+        if args.output:
+            data = record_bench(recovery, sweep=sweep, path=args.output)
+            verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
+            print(f"recorded {args.output} (acceptance: {verdict})")
+
+    elif command == "figure-smoke":
+        from repro.experiments.figure_smoke import (
+            format_figure_smoke, run_figure_smoke, write_report,
+        )
+
+        report = run_figure_smoke(
+            services=args.services, scale=args.scale, seed=args.seed,
+        )
+        print("Figure smoke — paper-shape checks on miniature cells")
+        print(format_figure_smoke(report))
+        if args.output:
+            write_report(report, args.output)
+            print(f"wrote {args.output}")
+        if not report["passed"]:
+            return 1
 
     elif command == "all":
         for sub_command in (

@@ -22,7 +22,6 @@ import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional
 
 from repro.suite import SCALES, SimCluster, build_service
 from repro.suite.cluster import run_open_loop

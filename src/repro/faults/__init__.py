@@ -1,0 +1,19 @@
+"""Fault injection: deterministic perturbations of a simulated cell."""
+
+from repro.faults.plan import (
+    FaultPlan,
+    LeafFaultInjector,
+    LeafSlowdown,
+    LeafStall,
+    MidTierPressure,
+    NetworkFault,
+)
+
+__all__ = [
+    "FaultPlan",
+    "LeafFaultInjector",
+    "LeafSlowdown",
+    "LeafStall",
+    "MidTierPressure",
+    "NetworkFault",
+]

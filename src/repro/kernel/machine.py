@@ -54,6 +54,9 @@ class Machine:
             policy=policy or WakeAffinityPlacement(),
         )
         self._sockets: Dict[int, KSocket] = {}
+        # Optional repro.faults.LeafFaultInjector installed by the cluster
+        # when this machine hosts a faulted leaf; None on the default path.
+        self.fault_injector = None
         self._irq_rng = self.rng.py("irq")
         self._alloc_ticks = 0
         self._rcu_timer = sim.call_in(RCU_TICK_US, self._rcu_tick)

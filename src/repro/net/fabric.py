@@ -65,9 +65,21 @@ class Fabric:
         self.telemetry = telemetry
         self.link = link or LinkSpec()
         self._rng = rng.py("fabric")
+        self._rng_streams = rng
         self._endpoints: Dict[str, Callable[[Packet], None]] = {}
         self.packets_sent = 0
         self.bytes_sent = 0
+        # Optional repro.faults.NetworkFault; None on the default path, and
+        # its RNG stream is created only on installation so a fault-free
+        # run consumes exactly the randomness it always did.
+        self.fault = None
+        self._fault_rng = None
+        self.fault_drops = 0
+
+    def install_fault(self, fault) -> None:
+        """Attach a network fault injector (extra delay/jitter/drop)."""
+        self.fault = fault
+        self._fault_rng = self._rng_streams.py("fault:net")
 
     def register(self, name: str, deliver: Callable[[Packet], None]) -> None:
         """Attach an endpoint; ``deliver(packet)`` runs at arrival time."""
@@ -105,6 +117,20 @@ class Fabric:
 
     def _transmit(self, packet: Packet) -> None:
         link = self.link
+        fault = self.fault
+        if fault is not None and fault.matches(packet.dst[0]):
+            if (
+                fault.drop_probability > 0.0
+                and self._fault_rng.random() < fault.drop_probability
+            ):
+                # A true drop (no retransmission): upstream hedges/retries
+                # or deadlines are what recover from it.
+                self.fault_drops += 1
+                self.telemetry.incr("fault_net_drops")
+                return
+            packet.extra_delay_us += fault.extra_delay_us + exponential(
+                self._fault_rng, fault.jitter_mean_us
+            )
         if self._rng.random() < link.loss_probability and not packet.retransmitted:
             # Single retransmission after the timeout; duplicate loss is
             # rare enough to ignore (the paper sees single-digit counts).

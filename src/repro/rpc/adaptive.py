@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.kernel.machine import Machine
 from repro.kernel.ops import Nanosleep
 from repro.rpc.apps import MidTierApp
+from repro.rpc.policy import TailPolicy
 from repro.rpc.server import MidTierRuntime, RuntimeConfig
 
 Address = Tuple[str, int]
@@ -58,6 +59,7 @@ class AdaptiveMidTierRuntime(MidTierRuntime):
         leaf_addrs: Sequence[Address],
         config: RuntimeConfig,
         policy: Optional[AdaptivePolicy] = None,
+        tail_policy: Optional[TailPolicy] = None,
     ):
         self.policy = policy or AdaptivePolicy()
         self.active_workers = config.worker_threads
@@ -65,7 +67,7 @@ class AdaptiveMidTierRuntime(MidTierRuntime):
         self.resizes = 0
         self.mode_history: List[Tuple[float, str]] = []
         self.resize_history: List[Tuple[float, int]] = []
-        super().__init__(machine, port, app, leaf_addrs, config)
+        super().__init__(machine, port, app, leaf_addrs, config, tail_policy=tail_policy)
         machine.spawn("adapt-monitor", self._monitor_loop())
 
     # -- adapted worker pool -------------------------------------------------
@@ -132,8 +134,11 @@ def make_midtier_runtime(
     app: MidTierApp,
     leaf_addrs: Sequence[Address],
     config: RuntimeConfig,
+    tail_policy: Optional[TailPolicy] = None,
 ) -> MidTierRuntime:
     """Construct the right mid-tier runtime for ``config``."""
     if config.adaptive:
-        return AdaptiveMidTierRuntime(machine, port, app, leaf_addrs, config)
-    return MidTierRuntime(machine, port, app, leaf_addrs, config)
+        return AdaptiveMidTierRuntime(
+            machine, port, app, leaf_addrs, config, tail_policy=tail_policy
+        )
+    return MidTierRuntime(machine, port, app, leaf_addrs, config, tail_policy=tail_policy)

@@ -35,7 +35,10 @@ class RpcMessage:
 class RpcRequest(RpcMessage):
     """A request: carries the reply address and fan-out bookkeeping ids."""
 
-    __slots__ = ("method", "request_id", "parent_id", "reply_to", "client_start", "trace")
+    __slots__ = (
+        "method", "request_id", "parent_id", "reply_to", "client_start",
+        "trace", "deadline",
+    )
 
     def __init__(
         self,
@@ -55,6 +58,9 @@ class RpcRequest(RpcMessage):
         self.client_start = client_start
         # Optional sampled distributed trace (repro.telemetry.tracing).
         self.trace = None
+        # Absolute deadline (simulation µs) propagated through the fan-out
+        # by the tail-tolerance layer; None means "no deadline".
+        self.deadline: Optional[float] = None
 
     def __repr__(self) -> str:
         return f"RpcRequest({self.method}#{self.request_id})"
@@ -63,7 +69,10 @@ class RpcRequest(RpcMessage):
 class RpcResponse(RpcMessage):
     """A response: matched to its request through ``request_id``."""
 
-    __slots__ = ("request_id", "parent_id", "is_error", "client_start", "upstream_net_us", "trace")
+    __slots__ = (
+        "request_id", "parent_id", "is_error", "client_start",
+        "upstream_net_us", "trace", "partial",
+    )
 
     def __init__(
         self,
@@ -83,6 +92,9 @@ class RpcResponse(RpcMessage):
         self.upstream_net_us = 0.0
         # Optional sampled distributed trace, carried back to the client.
         self.trace = None
+        # Graceful degradation: True when the deadline fired and this reply
+        # merges only the leaf responses that arrived in time.
+        self.partial = False
 
     def __repr__(self) -> str:
         return f"RpcResponse(#{self.request_id}, error={self.is_error})"

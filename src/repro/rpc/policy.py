@@ -1,0 +1,85 @@
+"""Tail-tolerance policy knobs for the mid-tier fan-out.
+
+The production-serving machinery the paper's systems lack, modeled after
+"The Tail at Scale" (Dean & Barroso) and gRPC's deadline semantics:
+
+* **deadlines** — each query gets an absolute deadline at mid-tier
+  arrival, propagated to every leaf sub-request so leaves can shed work
+  that can no longer matter;
+* **hedged requests** — if a leaf has not answered after a delay (fixed,
+  or auto-derived from an observed latency percentile), a duplicate
+  sub-request is issued; the first response wins and the loser is
+  dropped without double-counting;
+* **retries** — capped exponential-backoff re-sends recover from
+  crashed/lossy paths;
+* **graceful degradation** — when the deadline fires, the mid-tier
+  merges whatever leaf responses it holds and replies with
+  ``partial=True`` instead of stalling the client.
+
+``TailPolicy`` is inert configuration; the mechanics live in
+:class:`repro.rpc.server.MidTierRuntime`.  A runtime built with
+``tail_policy=None`` (the default everywhere) schedules no timers, draws
+no randomness, and stays bit-identical to the policy-free engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TailPolicy:
+    """Per-service tail-tolerance configuration."""
+
+    # Absolute per-query deadline, measured from mid-tier arrival (µs).
+    # None disables deadlines (and therefore partial replies).
+    deadline_us: Optional[float] = None
+    # Reply with the partial merge at the deadline instead of dropping.
+    degrade_partial: bool = True
+
+    # Hedge a leaf sub-request after this many µs without a response.
+    # None = derive the delay from the observed leaf latency percentile
+    # below once enough samples exist.
+    hedge_after_us: Optional[float] = None
+    hedge_percentile: float = 95.0
+    # Auto hedging arms only after this many observed leaf responses.
+    hedge_min_samples: int = 64
+    # Budget: hedges may not exceed this fraction of primary sub-requests
+    # ("hedge after the 95th percentile keeps extra load under ~5%").
+    hedge_max_fraction: float = 0.10
+    # Master switch for hedging (deadlines/retries can run without it).
+    hedging: bool = True
+
+    # Capped exponential-backoff retries per leaf sub-request slot.
+    max_retries: int = 0
+    retry_timeout_us: float = 4_000.0
+    retry_backoff: float = 2.0
+    retry_max_backoff_us: float = 32_000.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ValueError(f"deadline_us must be positive: {self.deadline_us}")
+        if not 0.0 < self.hedge_percentile < 100.0:
+            raise ValueError(f"bad hedge_percentile: {self.hedge_percentile}")
+        if self.hedge_max_fraction < 0:
+            raise ValueError(f"bad hedge_max_fraction: {self.hedge_max_fraction}")
+        if self.max_retries < 0:
+            raise ValueError(f"bad max_retries: {self.max_retries}")
+
+    @property
+    def wants_hedging(self) -> bool:
+        return self.hedging and self.hedge_max_fraction > 0.0
+
+
+#: A sensible "policies on" bundle for the fault experiments: deadline at
+#: 10 ms (an OLDI-scale SLO), auto-hedge at the observed p95, one retry
+#: after 8 ms (well past a healthy leaf's tail, so retries fire only for
+#: genuinely lost or stuck sub-requests, not for queueing noise).
+DEFAULT_TAIL_POLICY = TailPolicy(
+    deadline_us=10_000.0,
+    hedge_after_us=None,
+    hedge_percentile=95.0,
+    max_retries=1,
+    retry_timeout_us=8_000.0,
+)

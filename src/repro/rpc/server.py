@@ -16,17 +16,22 @@ an RPC client (to every leaf), with three thread pools:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernel.machine import Machine
-from repro.kernel.ops import Compute, EpollWait, SockRecv, SockSend
+from repro.kernel.ops import Compute, EpollWait, Nanosleep, SockRecv, SockSend
 from repro.kernel.futex import Mutex
 from repro.rpc.apps import LeafApp, MidTierApp
 from repro.rpc.message import RpcRequest, RpcResponse
+from repro.rpc.policy import TailPolicy
 from repro.rpc.queue import TaskQueue
 
 Address = Tuple[str, int]
+
+#: Observed leaf latencies kept for the auto-hedge percentile estimate.
+_HEDGE_WINDOW = 512
 
 
 @dataclass(frozen=True)
@@ -143,6 +148,9 @@ class LeafRuntime(_RuntimeBase):
     def __init__(self, machine: Machine, port: int, app: LeafApp, config: RuntimeConfig):
         super().__init__(machine, port, config)
         self.app = app
+        # Optional fault injector installed by the cluster (repro.faults);
+        # None on the default path, which stays byte-for-byte identical.
+        self.fault = getattr(machine, "fault_injector", None)
         self.task_queue = TaskQueue(machine, name=f"{machine.name}.leafq")
         for i in range(config.network_threads):
             machine.spawn(f"netpoll{i}", self._poller_loop())
@@ -164,10 +172,27 @@ class LeafRuntime(_RuntimeBase):
             yield from self._serve(request)
 
     def _serve(self, request: RpcRequest):
+        fault = self.fault
+        if fault is not None:
+            decision, stall_us = fault.pre_serve(self.machine.sim.now)
+            if decision == "drop":
+                # Crashed: the sub-request is lost; the mid-tier's hedges,
+                # retries, or deadline recover (or degrade) the query.
+                return
+            if decision == "stall":
+                yield Nanosleep(stall_us)  # parked until timed recovery
+        if request.deadline is not None and self.machine.sim.now > request.deadline:
+            # The mid-tier already gave up on this sub-request: shed the
+            # work instead of computing a reply nobody will merge.
+            self.machine.telemetry.incr(f"leaf_deadline_drops:{self.machine.name}")
+            return
         self.machine.alloc_tick()
         serve_start = request.arrive_time or self.machine.sim.now
         result = self.app.handle(request.payload)
-        yield Compute(result.compute_us, tag="leaf-compute")
+        compute_us = result.compute_us
+        if fault is not None:
+            compute_us = fault.inflate(compute_us)
+        yield Compute(compute_us, tag="leaf-compute")
         response = RpcResponse(
             request_id=request.request_id,
             payload=result.payload,
@@ -186,17 +211,69 @@ class LeafRuntime(_RuntimeBase):
 
 
 class _PendingRequest:
-    """Fan-out bookkeeping for one in-flight mid-tier request."""
+    """Fan-out bookkeeping for one in-flight mid-tier request.
 
-    __slots__ = ("request", "expected", "responses", "arrival", "request_path_us")
+    With a :class:`~repro.rpc.policy.TailPolicy` attached the entry also
+    tracks per-slot sub-request identity (so hedged duplicates cannot be
+    double-counted), the timers armed for each slot, and the deadline
+    state.  Without one (``track_slots=False``), none of that is
+    allocated and countdown works purely by response count, as before.
+    """
 
-    def __init__(self, request: RpcRequest, expected: int, arrival: float):
+    __slots__ = (
+        "request", "expected", "responses", "arrival", "request_path_us",
+        "sub_slot", "slot_info", "sent_at", "responded_slots", "dup_ids",
+        "slot_timers", "deadline_at", "deadline_call", "finished", "partial",
+    )
+
+    def __init__(
+        self, request: RpcRequest, expected: int, arrival: float,
+        track_slots: bool = False,
+    ):
         self.request = request
         self.expected = expected
         self.responses: List[RpcResponse] = []
         self.arrival = arrival
         # Mid-tier request-path latency: query arrival → fan-out sent.
         self.request_path_us = 0.0
+        self.finished = False
+        self.partial = False
+        self.deadline_at: Optional[float] = None
+        self.deadline_call = None
+        if track_slots:
+            # sub-request id → fan-out slot; slot → (leaf, payload, size).
+            self.sub_slot: Optional[Dict[int, int]] = {}
+            self.slot_info: Optional[Dict[int, tuple]] = {}
+            self.sent_at: Optional[Dict[int, float]] = {}
+            self.responded_slots: Optional[set] = set()
+            self.dup_ids: Optional[set] = set()
+            self.slot_timers: Optional[Dict[int, list]] = {}
+        else:
+            self.sub_slot = None
+            self.slot_info = None
+            self.sent_at = None
+            self.responded_slots = None
+            self.dup_ids = None
+            self.slot_timers = None
+
+    def cancel_slot_timers(self, slot: int) -> None:
+        """First-response-wins: kill the slot's hedge/retry timers."""
+        timers = self.slot_timers.pop(slot, None) if self.slot_timers else None
+        if timers:
+            for timer in timers:
+                timer.cancel()
+
+    def close(self) -> None:
+        """Mark finished and cancel every outstanding timer."""
+        self.finished = True
+        if self.deadline_call is not None:
+            self.deadline_call.cancel()
+            self.deadline_call = None
+        if self.slot_timers:
+            for timers in self.slot_timers.values():
+                for timer in timers:
+                    timer.cancel()
+            self.slot_timers.clear()
 
 
 class MidTierRuntime(_RuntimeBase):
@@ -209,10 +286,26 @@ class MidTierRuntime(_RuntimeBase):
         app: MidTierApp,
         leaf_addrs: Sequence[Address],
         config: RuntimeConfig,
+        tail_policy: Optional[TailPolicy] = None,
     ):
         super().__init__(machine, port, config)
         self.app = app
         self.leaf_addrs = list(leaf_addrs)
+        # Tail-tolerance layer; None (the default) arms nothing, draws no
+        # randomness, and keeps the runtime bit-identical to the policy-
+        # free engine (guarded by tests/test_golden_determinism.py).
+        self.tail_policy = tail_policy
+        self.subrequests_sent = 0
+        self.hedges_sent = 0
+        self.hedges_denied = 0
+        self.hedge_wins = 0
+        self.hedges_wasted = 0
+        self.retries_sent = 0
+        self.partial_replies = 0
+        self.late_responses = 0
+        self._leaf_lat: deque = deque(maxlen=_HEDGE_WINDOW)
+        self._leaf_obs = 0
+        self._hedge_delay_cache: Optional[float] = None
         self.task_queue = TaskQueue(machine, name=f"{machine.name}.midq")
         # Client side: one socket receiving every leaf response.
         self.client_sock = machine.socket(port + 1)
@@ -275,11 +368,17 @@ class MidTierRuntime(_RuntimeBase):
             entry.request_path_us = self.machine.sim.now - arrival
             yield from self._finish(entry, [], last_arrival=self.machine.sim.now)
             return
-        entry = _PendingRequest(request, expected=len(plan.subrequests), arrival=arrival)
+        policy = self.tail_policy
+        entry = _PendingRequest(
+            request, expected=len(plan.subrequests), arrival=arrival,
+            track_slots=policy is not None,
+        )
+        if policy is not None and policy.deadline_us is not None:
+            entry.deadline_at = arrival + policy.deadline_us
         yield from self.pending_mutex.acquire()
         self.pending[request.request_id] = entry
         yield from self.pending_mutex.release()
-        for leaf_index, payload, size_bytes in plan.subrequests:
+        for slot, (leaf_index, payload, size_bytes) in enumerate(plan.subrequests):
             sub = RpcRequest(
                 method="leaf",
                 payload=payload,
@@ -289,7 +388,17 @@ class MidTierRuntime(_RuntimeBase):
                 client_start=request.client_start,
             )
             sub.trace = request.trace  # propagate the sampled trace
+            if policy is not None:
+                sub.deadline = entry.deadline_at
+                entry.sub_slot[sub.request_id] = slot
+                entry.slot_info[slot] = (leaf_index, payload, size_bytes)
+                entry.sent_at[slot] = self.machine.sim.now
+            self.subrequests_sent += 1
             yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
+        # Responses may already have arrived (sends advance time), so arm
+        # timers only for still-unanswered slots, and never after finish.
+        if policy is not None and not entry.finished:
+            self._arm_tail_timers(entry)
         entry.request_path_us = self.machine.sim.now - arrival
         if request.trace is not None:
             request.trace.record(
@@ -318,7 +427,13 @@ class MidTierRuntime(_RuntimeBase):
                     yield from self._finish(entry, entry.responses, last_arrival)
 
     def _countdown(self, response: RpcResponse):
-        """Stash one leaf response; returns (entry, arrival) when last."""
+        """Stash one leaf response; returns (entry, arrival) when last.
+
+        With a tail policy, responses are matched to fan-out *slots*: the
+        first response for a slot wins (and cancels the slot's hedge and
+        retry timers); a hedge duplicate that lost its race is dropped
+        without being counted, so hedging can never double-count a leaf.
+        """
         if response.arrive_time is not None:
             # Socket-queue dwell + wakeup until a response thread picks it up.
             self.machine.telemetry.record(
@@ -328,15 +443,168 @@ class MidTierRuntime(_RuntimeBase):
         yield from self.pending_mutex.acquire()
         entry = self.pending.get(response.parent_id)
         is_last = False
-        if entry is not None:
+        if entry is None:
+            # Completed (or deadline-degraded) parent: a late original or a
+            # losing hedge/retry duplicate.  Dropped, never merged twice.
+            if self.tail_policy is not None:
+                self.late_responses += 1
+                self.machine.telemetry.incr(f"late_responses:{self.machine.name}")
+        elif self.tail_policy is None:
             entry.responses.append(response)
             is_last = len(entry.responses) >= entry.expected
             if is_last:
+                entry.finished = True
                 del self.pending[response.parent_id]
+        else:
+            slot = entry.sub_slot.get(response.request_id)
+            if slot is None or slot in entry.responded_slots:
+                # The slot was already answered by the other copy.
+                self.hedges_wasted += 1
+                self.machine.telemetry.incr(f"hedges_wasted:{self.machine.name}")
+                entry = None
+            else:
+                entry.responded_slots.add(slot)
+                entry.responses.append(response)
+                entry.cancel_slot_timers(slot)
+                if response.request_id in entry.dup_ids:
+                    self.hedge_wins += 1
+                    self.machine.telemetry.incr(f"hedge_wins:{self.machine.name}")
+                sent = entry.sent_at.get(slot)
+                if sent is not None:
+                    self._observe_leaf_latency(self.machine.sim.now - sent)
+                is_last = len(entry.responded_slots) >= entry.expected
+                if is_last:
+                    entry.close()
+                    del self.pending[response.parent_id]
         yield from self.pending_mutex.release()
         if entry is None or not is_last:
             return None
         return entry, response.arrive_time or self.machine.sim.now
+
+    # -- tail tolerance ----------------------------------------------------
+    def _observe_leaf_latency(self, latency_us: float) -> None:
+        """Feed the auto-hedge percentile estimate (policy runs only)."""
+        self._leaf_lat.append(latency_us)
+        self._leaf_obs += 1
+        self.machine.telemetry.record(f"leaf_rpc_latency:{self.machine.name}", latency_us)
+        if self._leaf_obs % 32 == 0:
+            self._hedge_delay_cache = None  # recompute lazily
+
+    def _hedge_delay(self) -> Optional[float]:
+        """Current hedge trigger delay, or None while auto mode is unarmed."""
+        policy = self.tail_policy
+        if policy.hedge_after_us is not None:
+            return policy.hedge_after_us
+        if self._leaf_obs < policy.hedge_min_samples:
+            return None
+        cached = self._hedge_delay_cache
+        if cached is None:
+            data = sorted(self._leaf_lat)
+            index = min(len(data) - 1, int(len(data) * policy.hedge_percentile / 100.0))
+            cached = self._hedge_delay_cache = data[index]
+        return cached
+
+    def _arm_tail_timers(self, entry: _PendingRequest) -> None:
+        """Arm per-slot hedge/retry timers and the request deadline."""
+        policy = self.tail_policy
+        sim = self.machine.sim
+        hedge_delay = self._hedge_delay() if policy.wants_hedging else None
+        for slot in range(entry.expected):
+            if slot in entry.responded_slots:
+                continue
+            timers = []
+            if hedge_delay is not None:
+                timers.append(sim.call_in(hedge_delay, self._hedge_fire, entry, slot))
+            if policy.max_retries > 0:
+                timers.append(
+                    sim.call_in(policy.retry_timeout_us, self._retry_fire, entry, slot, 1)
+                )
+            if timers:
+                entry.slot_timers[slot] = timers
+        if entry.deadline_at is not None and policy.degrade_partial:
+            entry.deadline_call = sim.call_at(
+                max(sim.now, entry.deadline_at), self._deadline_fire, entry
+            )
+
+    def _hedge_fire(self, entry: _PendingRequest, slot: int) -> None:
+        """Hedge timer: the slot is still unanswered past the trigger delay."""
+        if entry.finished or slot in entry.responded_slots:
+            return
+        policy = self.tail_policy
+        if self.hedges_sent + 1 > policy.hedge_max_fraction * max(self.subrequests_sent, 1):
+            self.hedges_denied += 1  # hedge budget exhausted
+            return
+        self.hedges_sent += 1
+        self.machine.telemetry.incr(f"hedges_sent:{self.machine.name}")
+        self.machine.spawn(
+            f"hedge{entry.request.request_id}.{slot}", self._send_duplicate(entry, slot)
+        )
+
+    def _retry_fire(self, entry: _PendingRequest, slot: int, attempt: int) -> None:
+        """Retry timer: capped exponential backoff re-send for a dead slot."""
+        if entry.finished or slot in entry.responded_slots:
+            return
+        policy = self.tail_policy
+        self.retries_sent += 1
+        self.machine.telemetry.incr(f"retries_sent:{self.machine.name}")
+        self.machine.spawn(
+            f"retry{entry.request.request_id}.{slot}.{attempt}",
+            self._send_duplicate(entry, slot),
+        )
+        if attempt < policy.max_retries:
+            delay = min(
+                policy.retry_timeout_us * policy.retry_backoff ** attempt,
+                policy.retry_max_backoff_us,
+            )
+            timer = self.machine.sim.call_in(delay, self._retry_fire, entry, slot, attempt + 1)
+            entry.slot_timers.setdefault(slot, []).append(timer)
+
+    def _send_duplicate(self, entry: _PendingRequest, slot: int):
+        """Thread body: send one hedge/retry duplicate for a fan-out slot."""
+        if entry.finished or slot in entry.responded_slots:
+            return
+        leaf_index, payload, size_bytes = entry.slot_info[slot]
+        request = entry.request
+        sub = RpcRequest(
+            method="leaf",
+            payload=payload,
+            size_bytes=size_bytes,
+            reply_to=self.client_sock.address,
+            parent_id=request.request_id,
+            client_start=request.client_start,
+        )
+        sub.trace = request.trace
+        sub.deadline = entry.deadline_at
+        entry.sub_slot[sub.request_id] = slot
+        entry.dup_ids.add(sub.request_id)
+        yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
+
+    def _deadline_fire(self, entry: _PendingRequest) -> None:
+        """Deadline timer: degrade to whatever responses arrived in time."""
+        if entry.finished:
+            return
+        self.machine.spawn(
+            f"deadline{entry.request.request_id}", self._finish_partial(entry)
+        )
+
+    def _finish_partial(self, entry: _PendingRequest):
+        """Thread body: remove the entry and reply with the partial merge."""
+        yield from self.pending_mutex.acquire()
+        live = (
+            self.pending.pop(entry.request.request_id, None) is not None
+            and not entry.finished
+        )
+        if live:
+            entry.partial = True
+            entry.close()
+        yield from self.pending_mutex.release()
+        if not live:
+            return  # completed between the timer firing and this thread running
+        missing = entry.expected - len(entry.responses)
+        self.machine.telemetry.incr(f"partial_missing:{self.machine.name}", missing)
+        yield from self._finish(
+            entry, entry.responses, last_arrival=self.machine.sim.now
+        )
 
     def _finish(self, entry: _PendingRequest, responses: List[RpcResponse], last_arrival: float):
         request = entry.request
@@ -348,6 +616,17 @@ class MidTierRuntime(_RuntimeBase):
             size_bytes=merged.size_bytes,
             client_start=request.client_start,
         )
+        if entry.partial:
+            # Graceful degradation: surface the partial merge to telemetry
+            # and to the client (repro.loadgen counts these separately).
+            reply.partial = True
+            self.partial_replies += 1
+            self.machine.telemetry.incr(f"partial_replies:{self.machine.name}")
+            if request.trace is not None:
+                request.trace.record(
+                    "deadline_partial", self.machine.name, entry.arrival,
+                    self.machine.sim.now,
+                )
         net_us = request.net_us + sum(r.net_us + r.upstream_net_us for r in responses)
         reply.upstream_net_us = net_us
         telemetry = self.machine.telemetry
@@ -371,3 +650,19 @@ class MidTierRuntime(_RuntimeBase):
             reply.trace = request.trace  # carried back to the client
         self.completed += 1
         yield SockSend(self.server_sock, request.reply_to, reply, merged.size_bytes)
+
+    def tail_stats(self) -> Dict[str, float]:
+        """Tail-tolerance accounting for experiment reports."""
+        subs = self.subrequests_sent
+        extra = self.hedges_sent + self.retries_sent
+        return {
+            "subrequests_sent": subs,
+            "hedges_sent": self.hedges_sent,
+            "hedges_denied": self.hedges_denied,
+            "hedge_wins": self.hedge_wins,
+            "hedges_wasted": self.hedges_wasted,
+            "retries_sent": self.retries_sent,
+            "partial_replies": self.partial_replies,
+            "late_responses": self.late_responses,
+            "extra_leaf_load": extra / subs if subs else 0.0,
+        }

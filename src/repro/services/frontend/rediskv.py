@@ -19,7 +19,7 @@ wrong type raise :class:`WrongTypeError`.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 

@@ -130,6 +130,7 @@ def build_hdsearch(
     cluster: SimCluster,
     scale: ServiceScale,
     midtier_policy=None,
+    tail_policy=None,
     name_prefix: str = "hds",
 ) -> ServiceHandle:
     """Wire a complete HDSearch deployment onto ``cluster``."""
@@ -169,12 +170,15 @@ def build_hdsearch(
 
     leaves: List[LeafRuntime] = []
     for i in range(scale.n_leaves):
-        machine = cluster.machine(f"{name_prefix}-leaf{i}", cores=scale.leaf_cores)
+        machine = cluster.machine(
+            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+        )
         app = HdSearchLeafApp(corpus.vectors, i, scale.n_leaves, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
 
     mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy
+        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy,
+        role="midtier",
     )
     mid_app = HdSearchMidTierApp(index, scale.hds_k, request_cost, merge_cost)
     midtier = make_midtier_runtime(
@@ -183,6 +187,7 @@ def build_hdsearch(
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,
+        tail_policy=tail_policy,
     )
 
     vec_bytes = _HEADER_BYTES + 8 * corpus.dims

@@ -83,6 +83,7 @@ def build_recommend(
     cluster: SimCluster,
     scale: ServiceScale,
     midtier_policy=None,
+    tail_policy=None,
     name_prefix: str = "rec",
 ) -> ServiceHandle:
     """Wire a complete Recommend deployment onto ``cluster``."""
@@ -120,12 +121,15 @@ def build_recommend(
 
     leaves: List[LeafRuntime] = []
     for i, predictor in enumerate(predictors):
-        machine = cluster.machine(f"{name_prefix}-leaf{i}", cores=scale.leaf_cores)
+        machine = cluster.machine(
+            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+        )
         app = RecommendLeafApp(predictor, w, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
 
     mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy
+        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy,
+        role="midtier",
     )
     mid_app = RecommendMidTierApp(n_leaves, forward_cost, average_cost)
     midtier = make_midtier_runtime(
@@ -134,6 +138,7 @@ def build_recommend(
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,
+        tail_policy=tail_policy,
     )
 
     # Queries come from empty utility-matrix cells only (paper §III-D).

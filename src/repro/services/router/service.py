@@ -142,6 +142,7 @@ def build_router(
     cluster: SimCluster,
     scale: ServiceScale,
     midtier_policy=None,
+    tail_policy=None,
     name_prefix: str = "router",
 ) -> ServiceHandle:
     """Wire a complete Router deployment onto ``cluster``."""
@@ -173,7 +174,8 @@ def build_router(
     for shard in range(n_shards):
         for replica in range(n_replicas):
             machine = cluster.machine(
-                f"{name_prefix}-leaf{shard}r{replica}", cores=scale.router_leaf_cores
+                f"{name_prefix}-leaf{shard}r{replica}", cores=scale.router_leaf_cores,
+                role="leaf", leaf_index=shard * n_replicas + replica,
             )
             store = MemcachedStore(clock=lambda: cluster.sim.now)
             stores.append(store)
@@ -188,7 +190,8 @@ def build_router(
             stores[shard * n_replicas + replica].set(op.key, op.value or "")
 
     mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.router_midtier_cores, policy=midtier_policy
+        f"{name_prefix}-mid", cores=scale.router_midtier_cores, policy=midtier_policy,
+        role="midtier",
     )
     mid_app = RouterMidTierApp(
         n_shards=n_shards,
@@ -204,6 +207,7 @@ def build_router(
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.router_midtier_runtime,
+        tail_policy=tail_policy,
     )
 
     query_set = [(op, _HEADER_BYTES + op.size_bytes) for op in ops]

@@ -78,6 +78,7 @@ def build_setalgebra(
     cluster: SimCluster,
     scale: ServiceScale,
     midtier_policy=None,
+    tail_policy=None,
     name_prefix: str = "sa",
 ) -> ServiceHandle:
     """Wire a complete Set Algebra deployment onto ``cluster``."""
@@ -121,12 +122,15 @@ def build_setalgebra(
 
     leaves: List[LeafRuntime] = []
     for i, index in enumerate(indexes):
-        machine = cluster.machine(f"{name_prefix}-leaf{i}", cores=scale.leaf_cores)
+        machine = cluster.machine(
+            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+        )
         app = SetAlgebraLeafApp(index, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
 
     mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy
+        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy,
+        role="midtier",
     )
     mid_app = SetAlgebraMidTierApp(n_leaves, forward_cost, union_cost)
     midtier = make_midtier_runtime(
@@ -135,6 +139,7 @@ def build_setalgebra(
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,
+        tail_policy=tail_policy,
     )
 
     query_set = [(terms, _HEADER_BYTES + 8 * len(terms)) for terms in queries]

@@ -30,6 +30,7 @@ class SimCluster:
         link: Optional[LinkSpec] = None,
         costs: Optional[OsCosts] = None,
         reservoir_size: int = 100_000,
+        faults=None,
     ):
         self.sim = Simulation()
         self.telemetry = Telemetry(reservoir_size=reservoir_size)
@@ -38,14 +39,27 @@ class SimCluster:
         self.fabric = Fabric(self.sim, self.telemetry, self.rng, link=link)
         self.costs = costs or OsCosts()
         self.machines: List[Machine] = []
+        # Optional repro.faults.FaultPlan; a plan with nothing enabled (or
+        # None) leaves every machine and the fabric untouched.
+        self.faults = faults if faults is not None and faults.active else None
+        if self.faults is not None and self.faults.network is not None \
+                and self.faults.network.active:
+            self.fabric.install_fault(self.faults.network)
 
     def machine(
         self,
         name: str,
         cores: int,
         policy: Optional[PlacementPolicy] = None,
+        role: Optional[str] = None,
+        leaf_index: Optional[int] = None,
     ) -> Machine:
-        """Provision one server."""
+        """Provision one server.
+
+        ``role`` ("leaf" / "midtier") and ``leaf_index`` let the cluster
+        attach the fault plan's injectors to the right machines; both are
+        ignored when no faults are configured.
+        """
         spec = MachineSpec(name=name, cores=cores, costs=self.costs)
         machine = Machine(
             sim=self.sim,
@@ -56,6 +70,11 @@ class SimCluster:
             name=name,
             policy=policy,
         )
+        if self.faults is not None:
+            if role == "leaf" and leaf_index is not None:
+                machine.fault_injector = self.faults.leaf_injector(leaf_index, machine)
+            elif role == "midtier":
+                self.faults.attach_midtier(machine)
         self.machines.append(machine)
         return machine
 

@@ -31,9 +31,16 @@ def build_service(
     cluster: SimCluster,
     scale: ServiceScale,
     midtier_policy=None,
+    tail_policy=None,
 ) -> ServiceHandle:
-    """Build the named µSuite service onto ``cluster``."""
+    """Build the named µSuite service onto ``cluster``.
+
+    ``tail_policy`` (a :class:`repro.rpc.policy.TailPolicy`) enables the
+    mid-tier's deadline/hedging/retry layer; None keeps the stock runtime.
+    """
     builders = _builders()
     if name not in builders:
         raise KeyError(f"unknown service {name!r}; options: {sorted(builders)}")
-    return builders[name](cluster, scale, midtier_policy=midtier_policy)
+    return builders[name](
+        cluster, scale, midtier_policy=midtier_policy, tail_policy=tail_policy
+    )

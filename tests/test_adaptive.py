@@ -2,9 +2,7 @@
 
 from dataclasses import replace
 
-import pytest
-
-from repro.rpc.adaptive import AdaptiveMidTierRuntime, AdaptivePolicy, make_midtier_runtime
+from repro.rpc.adaptive import AdaptiveMidTierRuntime, AdaptivePolicy
 from repro.rpc.server import MidTierRuntime
 from repro.suite import SCALES, SimCluster, build_service
 from repro.suite.cluster import run_open_loop

@@ -7,7 +7,6 @@ from repro.kernel.config import CStatePoint, MachineSpec, OsCosts
 from repro.net.fabric import LinkSpec
 from repro.services.costmodel import LinearCost
 from repro.suite import SCALES, SimCluster, build_service
-from repro.suite.config import ServiceScale
 
 
 # -- OsCosts ------------------------------------------------------------------

@@ -4,11 +4,7 @@ import pytest
 
 from repro.experiments import characterize
 from repro.experiments.characterize import OVERHEAD_KINDS, default_duration_us
-from repro.experiments.fig09_saturation import (
-    PAPER_SATURATION_QPS,
-    format_fig09,
-    saturation_throughput,
-)
+from repro.experiments.fig09_saturation import format_fig09, saturation_throughput
 from repro.experiments.fig10_latency import format_fig10, low_load_median_inflation
 from repro.experiments.fig11_14_syscalls import (
     REPORTED_SYSCALLS,

@@ -25,7 +25,6 @@ def _run_chaos(programs, cores, seed=0):
     mutex = Mutex("chaos")
     inside = []
     max_inside = [0]
-    running_by_core = {}
     finished = []
 
     def body(tag, program):

@@ -6,7 +6,6 @@ from repro.kernel.scheduler import (
     WakeAffinityPlacement,
     WorstFitPlacement,
 )
-from repro.kernel.threads import ThreadState
 
 from tests.helpers import Rig
 

@@ -67,7 +67,7 @@ def test_callable_source():
 
 def test_open_loop_rate_roughly_matches():
     sim, telemetry, rng, fabric = _rig()
-    target = EchoTarget(sim, fabric)
+    EchoTarget(sim, fabric)  # registers itself on the fabric
     gen = OpenLoopLoadGen(sim, fabric, telemetry, rng, ("target", 0),
                           CyclingSource([("q", 32)]), qps=1000.0)
     gen.start()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Compute, Nanosleep
+from repro.kernel import Compute
 from repro.kernel.machine import BRK_EVERY, MMAP_EVERY, RCU_TICK_US
 
 from tests.helpers import Rig

@@ -7,7 +7,6 @@ from repro.data import RatingsDataset
 from repro.services.costmodel import LinearCost
 from repro.services.recommend import (
     AllKnnPredictor,
-    RecommendLeafApp,
     RecommendMidTierApp,
     build_recommend,
     nmf_factorize,

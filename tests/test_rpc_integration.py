@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.kernel import MachineSpec
 from repro.loadgen import ClosedLoopLoadGen, CyclingSource, OpenLoopLoadGen
 from repro.loadgen.client import E2E_HIST
 from repro.rpc import (

@@ -91,7 +91,7 @@ def test_timed_wait_rewakes_idle_consumer():
 
     def consumer():
         while True:
-            item = yield from queue.get(wait_timeout_us=1_000.0)
+            yield from queue.get(wait_timeout_us=1_000.0)
 
     machine.spawn("c", consumer())
     machine.shutdown()
@@ -106,7 +106,7 @@ def test_untimed_wait_sleeps_quietly():
     queue = TaskQueue(machine)
 
     def consumer():
-        item = yield from queue.get()  # no timeout: parks once
+        yield from queue.get()  # no timeout: parks once
 
     machine.spawn("c", consumer())
     machine.shutdown()
