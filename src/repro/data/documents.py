@@ -10,8 +10,9 @@ Wikipedia's word occurrence probabilities", each query ≤ 10 words).
 
 from __future__ import annotations
 
-import random
 from typing import List, Sequence
+
+from repro.sim.rng import seeded_py
 
 
 class DocumentCorpus:
@@ -29,7 +30,7 @@ class DocumentCorpus:
             raise ValueError("n_documents and vocabulary_size must be positive")
         self.n_documents = n_documents
         self.vocabulary_size = vocabulary_size
-        self._rng = random.Random(seed)
+        self._rng = seeded_py(seed)
         weights = [1.0 / (rank + 1) ** zipf_s for rank in range(vocabulary_size)]
         total = sum(weights)
         self.term_probability = [w / total for w in weights]
@@ -71,7 +72,7 @@ class DocumentCorpus:
 
     def make_queries(self, n_queries: int, max_terms: int = 10, seed: int = 1) -> List[List[int]]:
         """Search queries drawn from word-occurrence probabilities."""
-        rng = random.Random(seed)
+        rng = seeded_py(seed)
         queries = []
         for _ in range(n_queries):
             length = rng.randint(1, max_terms)

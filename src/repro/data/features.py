@@ -15,6 +15,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
@@ -38,7 +40,7 @@ class FeatureCorpus:
         self.n_points = n_points
         self.dims = dims
         self.n_clusters = n_clusters
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         self._rng = rng
         centers = _normalize_rows(rng.normal(size=(n_clusters, dims)))
         assignments = rng.integers(0, n_clusters, size=n_points)

@@ -13,9 +13,10 @@ scans) is omitted: the memcached protocol Router speaks has no scan.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.sim.rng import seeded_py
 
 
 @dataclass(frozen=True)
@@ -53,7 +54,7 @@ class KeyValueTrace:
         self.n_keys = n_keys
         self.get_fraction = get_fraction
         self.value_size = value_size
-        self._rng = random.Random(seed)
+        self._rng = seeded_py(seed)
         # Zipf CDF over key ranks (rank 0 hottest).
         weights = [1.0 / (rank + 1) ** zipf_s for rank in range(n_keys)]
         total = sum(weights)

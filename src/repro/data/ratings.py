@@ -15,6 +15,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 
 class RatingsDataset:
     """Sparse user-item ratings with a planted low-rank structure."""
@@ -33,7 +35,7 @@ class RatingsDataset:
         self.n_users = n_users
         self.n_items = n_items
         self.rank = rank
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         self._rng = rng
         # Planted factors: non-negative so NMF is the right tool.
         self.user_factors = rng.gamma(2.0, 0.5, size=(n_users, rank))
@@ -68,7 +70,7 @@ class RatingsDataset:
 
     def query_pairs(self, n_queries: int, seed: int = 1) -> List[Tuple[int, int]]:
         """{user, item} query pairs drawn from empty utility-matrix cells."""
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         empty_users, empty_items = np.where(~self.mask)
         if len(empty_users) == 0:
             raise ValueError("utility matrix has no empty cells to query")

@@ -150,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_faults.json)")
 
+    p = sub.add_parser("scale", help="mid-tier replicas x balancing policy sweep")
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--replicas", nargs="+", type=int, default=None,
+                   help="replica counts to sweep (default: 1 2 3)")
+    p.add_argument("--policies", nargs="+", default=None, metavar="POLICY",
+                   help="balancing policies (default: all four)")
+    p.add_argument("--loads", nargs="+", type=float, default=None,
+                   help="offered loads in QPS for the tail cells")
+    p.add_argument("--duration-us", type=float, default=None,
+                   help="measured window per cell (default: 500 ms)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_scale.json)")
+
     p = sub.add_parser("figure-smoke",
                        help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -406,6 +421,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             data = record_bench(recovery, sweep=sweep, path=args.output)
             verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
             print(f"recorded {args.output} (acceptance: {verdict})")
+
+    elif command == "scale":
+        from repro.experiments.scale_sweep import (
+            DEFAULT_DURATION_US, LOADS, POLICIES, REPLICA_COUNTS,
+            acceptance, format_scale_sweep, record_bench, run_scale_sweep,
+        )
+        from repro.rpc.loadbalance import canonical_policy
+
+        # Validate policies up front: a typo'd name should be a clear
+        # one-line error, not a ValueError traceback mid-sweep.
+        policies = list(args.policies or POLICIES)
+        try:
+            policies = [canonical_policy(name) for name in policies]
+        except ValueError as err:
+            print(f"usuite scale: error: {err}", file=sys.stderr)
+            return 2
+
+        report = run_scale_sweep(
+            service=args.service,
+            replica_counts=args.replicas or REPLICA_COUNTS,
+            policies=policies,
+            loads=args.loads or LOADS,
+            scale=args.scale,
+            seed=args.seed,
+            duration_us=args.duration_us or DEFAULT_DURATION_US,
+        )
+        print(f"Scale-out sweep — {args.service}")
+        print(format_scale_sweep(report))
+        if args.output:
+            data = record_bench(report, path=args.output)
+            verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
+            print(f"recorded {args.output} (acceptance: {verdict})")
+        else:
+            checks = acceptance(report)
+            print(f"acceptance: {'pass' if checks['pass'] else 'FAIL'}")
 
     elif command == "figure-smoke":
         from repro.experiments.figure_smoke import (

@@ -63,7 +63,7 @@ def saturation_throughput(
         offered = overload_factor * PAPER_SATURATION_QPS.get(service_name, 15_000.0)
         gen = OpenLoopLoadGen(
             cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
-            target=service.midtier.address, source=service.make_source(), qps=offered,
+            target=service.target_address, source=service.make_source(), qps=offered,
         )
         gen.start()
         cluster.run(until=warmup_us)

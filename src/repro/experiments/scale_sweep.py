@@ -1,0 +1,384 @@
+"""Scale-out sweep: mid-tier replicas × balancing policy × load
+(``usuite scale``).
+
+The paper runs one mid-tier per service, so its Fig. 9 saturation is a
+single-machine ceiling.  This experiment measures what the suite does
+when that tier is replicated behind the :mod:`repro.rpc.loadbalance`
+front end: saturation throughput versus replica count, and tail latency
+versus balancing policy at fixed loads.
+
+The sweep's scale makes the *mid-tier* the bottleneck — the paper's
+"small" scale saturates on leaf CPU (4 leaves × 4 cores), where adding
+mid-tier replicas cannot help.  Two overrides flip that: the mid-tier is
+squeezed to one core (its thread pools now contend the way the paper's
+40-core testbed never lets them) and HDSearch's leaf service-time target
+drops to 80 µs so the 16 leaf cores stay out of the way up to ~50 K QPS.
+Under that scale, replicas scale saturation and the classic balancing
+results appear: uniform random is the worst tail, power-of-two-choices
+tracks least-outstanding, and both beat round-robin at high load.
+
+``record_bench`` writes ``BENCH_scale.json`` validated against the
+checked-in ``schemas/bench_scale.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.schema import load_schema, validate
+from repro.experiments.tables import render_table
+from repro.loadgen import OpenLoopLoadGen
+from repro.loadgen.client import _ClientBase
+from repro.rpc.loadbalance import canonical_policy, replica_imbalance
+from repro.suite import SCALES, ServiceScale, SimCluster, build_service
+from repro.suite.cluster import run_open_loop
+
+SWEEP_SERVICE = "hdsearch"
+#: Leaf service-time target that keeps leaves unsaturated to ~50 K QPS.
+SWEEP_LEAF_US = 80.0
+#: One mid-tier core: the replicated tier is the bottleneck by design.
+SWEEP_MIDTIER_CORES = 1
+
+REPLICA_COUNTS: Tuple[int, ...] = (1, 2, 3)
+POLICIES: Tuple[str, ...] = (
+    "round-robin", "random", "least-outstanding", "power-of-two"
+)
+#: Fixed offered loads for the tail-latency cells; the highest sits near
+#: the 3-replica knee, where policies separate most.
+LOADS: Tuple[float, ...] = (5_000.0, 10_000.0, 20_000.0)
+#: Open-loop overload that establishes saturation (2× the leaf ceiling).
+SATURATION_OFFERED_QPS = 40_000.0
+
+WARMUP_US = 200_000.0
+SATURATION_DURATION_US = 300_000.0
+DEFAULT_DURATION_US = 500_000.0
+
+#: Default artifact path, relative to the repository root / CWD.
+BENCH_PATH = "BENCH_scale.json"
+
+#: Acceptance: 2 replicas must lift saturation by at least this factor.
+TARGET_SPEEDUP_AT_2 = 1.7
+
+
+def sweep_scale(
+    replicas: int,
+    policy: str,
+    scale: ServiceScale | str = "small",
+    service: str = SWEEP_SERVICE,
+) -> ServiceScale:
+    """The sweep's scale: ``scale`` with the mid-tier made the bottleneck."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    leaf_us = {**scale.target_leaf_service_us, service: SWEEP_LEAF_US}
+    return scale.with_overrides(
+        midtier_replicas=replicas,
+        lb_policy=policy,
+        midtier_cores=SWEEP_MIDTIER_CORES,
+        target_leaf_service_us=leaf_us,
+    )
+
+
+@dataclass
+class LoadPoint:
+    """Tail latency at one offered load."""
+
+    qps: float
+    sent: int
+    completed: int
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    lb_backlogged: int = 0
+    replica_imbalance: float = 0.0
+    per_replica_forwarded: List[int] = field(default_factory=list)
+    per_replica_runqlat_p99_us: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ScaleCell:
+    """One (replica count, policy) point of the sweep."""
+
+    replicas: int
+    policy: str
+    saturation_qps: float
+    loads: List[LoadPoint] = field(default_factory=list)
+
+
+@dataclass
+class ScaleSweepReport:
+    """The whole sweep plus the double-run reproducibility check."""
+
+    service: str
+    scale: str
+    seed: int
+    duration_us: float
+    cells: List[ScaleCell]
+    repro_replicas: int
+    repro_policy: str
+    repro_qps: float
+    repro_first: LoadPoint
+    repro_second: LoadPoint
+
+    @property
+    def bit_reproducible(self) -> bool:
+        return asdict(self.repro_first) == asdict(self.repro_second)
+
+    def saturation_series(self) -> List[Tuple[int, float]]:
+        """(replicas, saturation) along the round-robin axis (the
+        1-replica cell has no balancer, so it belongs to every policy)."""
+        series = [
+            (cell.replicas, cell.saturation_qps)
+            for cell in self.cells
+            if cell.replicas == 1 or cell.policy == "round-robin"
+        ]
+        return sorted(series)
+
+    def find_cell(self, replicas: int, policy: str) -> Optional[ScaleCell]:
+        for cell in self.cells:
+            if cell.replicas == replicas and (
+                cell.replicas == 1 or cell.policy == policy
+            ):
+                return cell
+        return None
+
+
+def _pin_arrivals() -> None:
+    # Every cell re-creates the load generator; resetting the instance
+    # counter keeps its RNG stream name — and the Poisson arrival
+    # sequence — identical across cells, isolating the topology effect.
+    _ClientBase._instances = 0
+
+
+def measure_saturation(
+    service_name: str,
+    scale: ServiceScale,
+    seed: int = 0,
+    offered_qps: float = SATURATION_OFFERED_QPS,
+    duration_us: float = SATURATION_DURATION_US,
+    warmup_us: float = WARMUP_US,
+) -> float:
+    """Completion rate under 2× open-loop overload (the Fig. 9 method)."""
+    _pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    service = build_service(service_name, cluster, scale)
+    gen = OpenLoopLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=service.target_address, source=service.make_source(),
+        qps=offered_qps,
+    )
+    gen.start()
+    cluster.run(until=warmup_us)
+    completed_before = gen.completed
+    cluster.run(until=warmup_us + duration_us)
+    qps = (gen.completed - completed_before) / (duration_us / 1e6)
+    cluster.shutdown()
+    return qps
+
+
+def measure_load_point(
+    service_name: str,
+    scale: ServiceScale,
+    qps: float,
+    seed: int = 0,
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = WARMUP_US,
+) -> LoadPoint:
+    """One open-loop cell with per-replica balancing telemetry."""
+    _pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    service = build_service(service_name, cluster, scale)
+    result = run_open_loop(
+        cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
+    )
+    breakdown = cluster.telemetry.replica_breakdown(service.midtier_names)
+    point = LoadPoint(
+        qps=qps,
+        sent=result.sent,
+        completed=result.completed,
+        p50_us=result.e2e.percentile(50),
+        p99_us=result.e2e.percentile(99),
+        mean_us=result.e2e.mean,
+        per_replica_runqlat_p99_us=[
+            row["runqlat_p99_us"] for row in breakdown.values()
+        ],
+    )
+    if result.lb_stats is not None:
+        forwarded = list(result.lb_stats["per_replica_forwarded"])
+        point.lb_backlogged = int(result.lb_stats["backlogged"])
+        point.per_replica_forwarded = forwarded
+        point.replica_imbalance = replica_imbalance(forwarded)
+    cluster.shutdown()
+    return point
+
+
+def run_scale_sweep(
+    service: str = SWEEP_SERVICE,
+    replica_counts: Iterable[int] = REPLICA_COUNTS,
+    policies: Iterable[str] = POLICIES,
+    loads: Sequence[float] = LOADS,
+    scale: str = "small",
+    seed: int = 0,
+    duration_us: float = DEFAULT_DURATION_US,
+) -> ScaleSweepReport:
+    """The full sweep plus a same-seed double run of one cell."""
+    policies = [canonical_policy(name) for name in policies]
+    replica_counts = sorted(set(replica_counts))
+    cells: List[ScaleCell] = []
+    for n in replica_counts:
+        # One mid-tier has no balancer: every policy is the same topology.
+        cell_policies = ["direct"] if n == 1 else policies
+        for policy in cell_policies:
+            built = sweep_scale(n, policy if n > 1 else "round-robin",
+                                scale=scale, service=service)
+            cell = ScaleCell(
+                replicas=n,
+                policy=policy,
+                saturation_qps=measure_saturation(service, built, seed=seed),
+            )
+            for qps in loads:
+                cell.loads.append(
+                    measure_load_point(
+                        service, built, qps, seed=seed, duration_us=duration_us
+                    )
+                )
+            cells.append(cell)
+
+    # Reproducibility: the most stochastic cell (power-of-two if swept),
+    # run twice from scratch under the same seed.
+    repro_n = max(replica_counts)
+    repro_policy = "power-of-two" if "power-of-two" in policies else policies[0]
+    repro_qps = loads[len(loads) // 2] if loads else 1_000.0
+    if repro_n == 1:
+        repro_policy = "direct"
+    built = sweep_scale(repro_n, repro_policy if repro_n > 1 else "round-robin",
+                        scale=scale, service=service)
+    first = measure_load_point(service, built, repro_qps, seed=seed,
+                               duration_us=duration_us)
+    second = measure_load_point(service, built, repro_qps, seed=seed,
+                                duration_us=duration_us)
+
+    return ScaleSweepReport(
+        service=service,
+        scale=scale if isinstance(scale, str) else scale.name,
+        seed=seed,
+        duration_us=duration_us,
+        cells=cells,
+        repro_replicas=repro_n,
+        repro_policy=repro_policy,
+        repro_qps=repro_qps,
+        repro_first=first,
+        repro_second=second,
+    )
+
+
+def acceptance(report: ScaleSweepReport) -> Dict[str, object]:
+    """The checks ``record_bench`` commits alongside the data."""
+    series = report.saturation_series()
+    saturations = [qps for _, qps in series]
+    monotone = all(b > a for a, b in zip(saturations, saturations[1:]))
+    speedup = 0.0
+    if len(saturations) >= 2 and saturations[0] > 0:
+        by_n = dict(series)
+        if 1 in by_n and 2 in by_n and by_n[1] > 0:
+            speedup = by_n[2] / by_n[1]
+
+    max_n = max((cell.replicas for cell in report.cells), default=1)
+    p2c = report.find_cell(max_n, "power-of-two")
+    rr = report.find_cell(max_n, "round-robin")
+    p2c_p99 = p2c.loads[-1].p99_us if p2c and p2c.loads else 0.0
+    rr_p99 = rr.loads[-1].p99_us if rr and rr.loads else 0.0
+    p2c_wins = bool(p2c_p99 and rr_p99 and p2c_p99 <= rr_p99)
+
+    checks = {
+        "saturation_monotone": monotone,
+        "speedup_at_2_replicas": round(speedup, 3),
+        "target_speedup_at_2_replicas": TARGET_SPEEDUP_AT_2,
+        "p2c_p99_us": round(p2c_p99, 1),
+        "round_robin_p99_us": round(rr_p99, 1),
+        "p2c_beats_round_robin": p2c_wins,
+        "bit_reproducible": report.bit_reproducible,
+    }
+    checks["pass"] = bool(
+        monotone
+        and speedup >= TARGET_SPEEDUP_AT_2
+        and p2c_wins
+        and report.bit_reproducible
+    )
+    return checks
+
+
+def format_scale_sweep(report: ScaleSweepReport) -> str:
+    """The sweep as saturation and tail-latency tables."""
+    sat_rows = [
+        (n, f"{qps:,.0f}") for n, qps in report.saturation_series()
+    ]
+    out = ["saturation vs replicas (round-robin):"]
+    out.append(render_table(("replicas", "saturation QPS"), sat_rows))
+    rows = []
+    for cell in report.cells:
+        for point in cell.loads:
+            rows.append(
+                (
+                    cell.replicas,
+                    cell.policy,
+                    f"{point.qps:g}",
+                    point.completed,
+                    round(point.p50_us),
+                    round(point.p99_us),
+                    f"{point.replica_imbalance:.2f}" if cell.replicas > 1 else "-",
+                )
+            )
+    out.append("")
+    out.append("tail latency per cell:")
+    out.append(render_table(
+        ("replicas", "policy", "QPS", "done", "p50 us", "p99 us", "imbalance"),
+        rows,
+    ))
+    out.append("")
+    out.append(
+        f"reproducibility ({report.repro_replicas} replicas, "
+        f"{report.repro_policy} @ {report.repro_qps:g} QPS): "
+        + ("bit-identical" if report.bit_reproducible else "DIVERGED")
+    )
+    return "\n".join(out)
+
+
+def to_document(report: ScaleSweepReport) -> dict:
+    """The JSON artifact (validates against bench_scale.schema.json)."""
+    checks = acceptance(report)
+    return {
+        "benchmark": (
+            f"mid-tier scale-out on {report.service}, scale={report.scale} "
+            f"(midtier_cores={SWEEP_MIDTIER_CORES}, "
+            f"leaf target={SWEEP_LEAF_US:g}us), seed={report.seed}"
+        ),
+        "service": report.service,
+        "scale": report.scale,
+        "seed": report.seed,
+        "duration_us": report.duration_us,
+        "scale_overrides": {
+            "midtier_cores": SWEEP_MIDTIER_CORES,
+            "target_leaf_service_us": SWEEP_LEAF_US,
+        },
+        "cells": [asdict(cell) for cell in report.cells],
+        "reproducibility": {
+            "replicas": report.repro_replicas,
+            "policy": report.repro_policy,
+            "qps": report.repro_qps,
+            "bit_identical": report.bit_reproducible,
+            "first": asdict(report.repro_first),
+            "second": asdict(report.repro_second),
+        },
+        "acceptance": checks,
+    }
+
+
+def record_bench(report: ScaleSweepReport, path: str = BENCH_PATH) -> dict:
+    """Validate the artifact against the checked-in schema and write it."""
+    document = to_document(report)
+    validate(document, load_schema("bench_scale.schema.json"))
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

@@ -91,6 +91,10 @@ class Fabric:
         """Detach an endpoint (in-flight packets to it are dropped)."""
         self._endpoints.pop(name, None)
 
+    def has_endpoint(self, name: str) -> bool:
+        """True while ``name`` is attached (proxies check before relaying)."""
+        return name in self._endpoints
+
     def send(
         self,
         src: Address,

@@ -19,15 +19,19 @@ Reproduces the software designs of the paper's §IV (Fig. 8) exactly:
 """
 
 from repro.rpc.apps import FanoutPlan, LeafApp, LeafResult, MergeResult, MidTierApp
+from repro.rpc.loadbalance import POLICY_NAMES as LB_POLICY_NAMES
+from repro.rpc.loadbalance import LoadBalancer
 from repro.rpc.message import RpcRequest, RpcResponse
 from repro.rpc.queue import TaskQueue
 from repro.rpc.server import LeafRuntime, MidTierRuntime, RuntimeConfig
 
 __all__ = [
     "FanoutPlan",
+    "LB_POLICY_NAMES",
     "LeafApp",
     "LeafResult",
     "LeafRuntime",
+    "LoadBalancer",
     "MergeResult",
     "MidTierApp",
     "MidTierRuntime",

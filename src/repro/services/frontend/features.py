@@ -17,6 +17,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 
 class FeatureExtractor:
     """Deterministic image-bytes → feature-vector mapping."""
@@ -26,7 +28,7 @@ class FeatureExtractor:
             raise ValueError("dims must be positive")
         self.dims = dims
         # A fixed projection: 256 byte-histogram bins → dims.
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         self._projection = rng.normal(size=(dims, 256))
         # Inception-V3-scale inference cost (tens of ms on CPU).
         self.extraction_cost_us = extraction_cost_us
@@ -66,6 +68,6 @@ def synthetic_image(corpus_vector: np.ndarray, seed: int = 0, size: int = 4096) 
     Used by examples/tests to exercise the cache → extract → search
     pipeline without real images: returns (image_bytes, planted_vector).
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_np(seed)
     image = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
     return image, corpus_vector

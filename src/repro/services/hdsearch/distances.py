@@ -14,6 +14,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 
 def euclidean_topk(
     candidates: np.ndarray, query: np.ndarray, k: int
@@ -44,7 +46,7 @@ class BinarySignatures:
         self.dims = dims
         self.n_bits = n_bits
         self.n_words = n_bits // 64
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         self._planes = rng.normal(size=(n_bits, dims))
 
     #: Bit weights for packing 64 sign bits into one word (loop-invariant).

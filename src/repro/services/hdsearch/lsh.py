@@ -14,6 +14,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 
 class LshIndex:
     """A random-hyperplane LSH index over a shared feature corpus."""
@@ -38,7 +40,7 @@ class LshIndex:
         self.n_tables = n_tables
         self.hash_bits = hash_bits
         self.n_probes = n_probes
-        rng = np.random.default_rng(seed)
+        rng = seeded_np(seed)
         # One (hash_bits x dims) hyperplane matrix per table.
         self._planes = [
             rng.normal(size=(hash_bits, self.dims)) for _ in range(n_tables)

@@ -23,10 +23,9 @@ from repro.rpc import (
     MidTierApp,
     LeafRuntime,
 )
-from repro.rpc.adaptive import make_midtier_runtime
 from repro.services.costmodel import LinearCost
 from repro.services.hdsearch.lsh import LshIndex, tune_lsh
-from repro.suite.cluster import ServiceHandle, SimCluster
+from repro.suite.cluster import ServiceHandle, SimCluster, build_midtier_replicas
 from repro.suite.config import ServiceScale
 
 #: Wire overhead per RPC beyond the payload proper.
@@ -176,17 +175,16 @@ def build_hdsearch(
         app = HdSearchLeafApp(corpus.vectors, i, scale.n_leaves, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
 
-    mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.midtier_cores, policy=midtier_policy,
-        role="midtier",
-    )
     mid_app = HdSearchMidTierApp(index, scale.hds_k, request_cost, merge_cost)
-    midtier = make_midtier_runtime(
-        mid_machine,
-        port=40,
+    midtiers, mid_machines, frontend = build_midtier_replicas(
+        cluster,
+        scale,
+        name_prefix=name_prefix,
+        cores=scale.midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,
+        midtier_policy=midtier_policy,
         tail_policy=tail_policy,
     )
 
@@ -205,9 +203,12 @@ def build_hdsearch(
 
     return ServiceHandle(
         name="hdsearch",
-        midtier=midtier,
-        midtier_machine=mid_machine,
+        midtier=midtiers[0],
+        midtier_machine=mid_machines[0],
         leaves=leaves,
         make_source=lambda: CyclingSource(query_set),
         extras={"corpus": corpus, "index": index, "accuracy": accuracy},
+        midtiers=midtiers,
+        midtier_machines=mid_machines,
+        frontend=frontend,
     )

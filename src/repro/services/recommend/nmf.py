@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.sim.rng import seeded_np
+
 _EPS = 1e-9
 
 
@@ -38,7 +40,7 @@ def nmf_factorize(
     if (utility[mask] < 0).any():
         raise ValueError("NMF requires non-negative observed ratings")
     n_users, n_items = utility.shape
-    rng = np.random.default_rng(seed)
+    rng = seeded_np(seed)
     observed = mask.astype(float)
     masked_v = utility * observed
     scale = np.sqrt(max(masked_v.sum() / max(observed.sum(), 1.0), _EPS) / rank)

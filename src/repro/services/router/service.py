@@ -23,11 +23,10 @@ from repro.rpc import (
     MidTierApp,
     LeafRuntime,
 )
-from repro.rpc.adaptive import make_midtier_runtime
 from repro.services.costmodel import LinearCost
 from repro.services.router.memcached import MemcachedStore
 from repro.services.router.spookyhash import SpookyHash
-from repro.suite.cluster import ServiceHandle, SimCluster
+from repro.suite.cluster import ServiceHandle, SimCluster, build_midtier_replicas
 from repro.suite.config import ServiceScale
 
 _HEADER_BYTES = 32
@@ -189,10 +188,6 @@ def build_router(
         for replica in range(n_replicas):
             stores[shard * n_replicas + replica].set(op.key, op.value or "")
 
-    mid_machine = cluster.machine(
-        f"{name_prefix}-mid", cores=scale.router_midtier_cores, policy=midtier_policy,
-        role="midtier",
-    )
     mid_app = RouterMidTierApp(
         n_shards=n_shards,
         n_replicas=n_replicas,
@@ -201,12 +196,15 @@ def build_router(
         replica_rng=cluster.rng.py(f"{name_prefix}:replica"),
         hasher=hasher,
     )
-    midtier = make_midtier_runtime(
-        mid_machine,
-        port=40,
+    midtiers, mid_machines, frontend = build_midtier_replicas(
+        cluster,
+        scale,
+        name_prefix=name_prefix,
+        cores=scale.router_midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.router_midtier_runtime,
+        midtier_policy=midtier_policy,
         tail_policy=tail_policy,
     )
 
@@ -214,9 +212,12 @@ def build_router(
 
     return ServiceHandle(
         name="router",
-        midtier=midtier,
-        midtier_machine=mid_machine,
+        midtier=midtiers[0],
+        midtier_machine=mid_machines[0],
         leaves=leaves,
         make_source=lambda: CyclingSource(query_set),
         extras={"trace": trace, "stores": stores, "hasher": hasher},
+        midtiers=midtiers,
+        midtier_machines=mid_machines,
+        frontend=frontend,
     )

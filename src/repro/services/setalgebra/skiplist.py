@@ -10,8 +10,9 @@ used to speed up list intersections" — it backs an ablation benchmark.
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Iterator, List, Optional
+
+from repro.sim.rng import seeded_py
 
 
 class _Node:
@@ -29,7 +30,7 @@ class SkipList:
     P = 0.25
 
     def __init__(self, values: Optional[Iterable[int]] = None, seed: int = 0):
-        self._rng = random.Random(seed)
+        self._rng = seeded_py(seed)
         self._head = _Node(-1, self.MAX_LEVEL)
         self._level = 1
         self._length = 0

@@ -52,6 +52,23 @@ class RngStreams:
         return RngStreams(derive_seed(self.master_seed, f"spawn:{name}"))
 
 
+def seeded_py(seed: int) -> random.Random:
+    """A stdlib RNG from an explicit seed.
+
+    The only sanctioned way to construct a :class:`random.Random` outside
+    this module (tests/test_rng_audit.py greps the tree for violations).
+    Callers must derive ``seed`` from a named :class:`RngStreams` stream
+    (e.g. ``cluster.rng.py("hds:dataset").randrange(2**31)``) so that every
+    stochastic component remains attributable and reproducible.
+    """
+    return random.Random(seed)
+
+
+def seeded_np(seed: int) -> np.random.Generator:
+    """A numpy generator from an explicit seed (see :func:`seeded_py`)."""
+    return np.random.default_rng(seed)
+
+
 def exponential(rng: random.Random, mean: float) -> float:
     """An exponential variate with the given mean (mean=0 gives 0)."""
     if mean <= 0:

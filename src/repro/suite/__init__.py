@@ -10,7 +10,12 @@ Typical use::
     print(result.e2e.summary())
 """
 
-from repro.suite.cluster import RunResult, ServiceHandle, SimCluster
+from repro.suite.cluster import (
+    RunResult,
+    ServiceHandle,
+    SimCluster,
+    build_midtier_replicas,
+)
 from repro.suite.config import SCALES, ServiceScale
 from repro.suite.registry import SERVICE_NAMES, build_service
 
@@ -21,5 +26,6 @@ __all__ = [
     "ServiceHandle",
     "ServiceScale",
     "SimCluster",
+    "build_midtier_replicas",
     "build_service",
 ]

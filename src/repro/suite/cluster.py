@@ -16,6 +16,8 @@ from repro.kernel.scheduler import PlacementPolicy
 from repro.loadgen import ClosedLoopLoadGen, OpenLoopLoadGen, QuerySource
 from repro.loadgen.client import E2E_HIST
 from repro.net import Fabric, LinkSpec
+from repro.rpc.adaptive import make_midtier_runtime
+from repro.rpc.loadbalance import LoadBalancer
 from repro.rpc.server import LeafRuntime, MidTierRuntime
 from repro.sim import RngStreams, Simulation
 from repro.telemetry import LatencyHistogram, Telemetry
@@ -88,6 +90,65 @@ class SimCluster:
             machine.shutdown()
 
 
+def build_midtier_replicas(
+    cluster: SimCluster,
+    scale,
+    name_prefix: str,
+    cores: int,
+    app,
+    leaf_addrs,
+    config,
+    midtier_policy=None,
+    tail_policy=None,
+    port: int = 40,
+):
+    """Provision ``scale.midtier_replicas`` mid-tier runtimes, all fanning
+    out to the same leaf shards, plus the front-end balancer when N > 1.
+
+    Every service builder routes its mid-tier construction through here.
+    With one replica (the default) the machine keeps its historical
+    ``<prefix>-mid`` name, no balancer is registered, and no additional
+    randomness is drawn — the single-replica topology stays bit-identical
+    to the paper's.  Returns ``(runtimes, machines, frontend)`` where
+    ``frontend`` is None for the single-replica case.
+    """
+    n_replicas = getattr(scale, "midtier_replicas", 1)
+    if n_replicas <= 1:
+        machine = cluster.machine(
+            f"{name_prefix}-mid", cores=cores, policy=midtier_policy, role="midtier"
+        )
+        runtime = make_midtier_runtime(
+            machine, port=port, app=app, leaf_addrs=leaf_addrs, config=config,
+            tail_policy=tail_policy,
+        )
+        return [runtime], [machine], None
+    runtimes: List[MidTierRuntime] = []
+    machines: List[Machine] = []
+    for replica in range(n_replicas):
+        machine = cluster.machine(
+            f"{name_prefix}-mid{replica}", cores=cores, policy=midtier_policy,
+            role="midtier",
+        )
+        runtimes.append(
+            make_midtier_runtime(
+                machine, port=port, app=app, leaf_addrs=leaf_addrs, config=config,
+                tail_policy=tail_policy,
+            )
+        )
+        machines.append(machine)
+    frontend = LoadBalancer(
+        cluster.sim,
+        cluster.fabric,
+        cluster.telemetry,
+        cluster.rng,
+        name=f"{name_prefix}-lb",
+        replicas=[runtime.address for runtime in runtimes],
+        policy=getattr(scale, "lb_policy", "round-robin"),
+        pool_size=getattr(scale, "lb_pool_size", 128),
+    )
+    return runtimes, machines, frontend
+
+
 @dataclass
 class ServiceHandle:
     """A built service: its runtimes plus a query source factory."""
@@ -99,10 +160,34 @@ class ServiceHandle:
     make_source: Callable[[], QuerySource]
     # Service-specific extras (e.g. HDSearch's accuracy checker).
     extras: Dict[str, object] = field(default_factory=dict)
+    # Scale-out: every mid-tier replica (midtier/midtier_machine remain the
+    # primary replica for single-instance callers) and the front-end
+    # balancer, None when the service runs the paper's 1-replica topology.
+    midtiers: List[MidTierRuntime] = field(default_factory=list)
+    midtier_machines: List[Machine] = field(default_factory=list)
+    frontend: Optional[LoadBalancer] = None
+
+    def __post_init__(self) -> None:
+        if not self.midtiers:
+            self.midtiers = [self.midtier]
+        if not self.midtier_machines:
+            self.midtier_machines = [self.midtier_machine]
 
     @property
     def midtier_name(self) -> str:
         return self.midtier_machine.name
+
+    @property
+    def midtier_names(self) -> List[str]:
+        """Every replica's machine name (telemetry keys)."""
+        return [machine.name for machine in self.midtier_machines]
+
+    @property
+    def target_address(self):
+        """Where clients send queries: the balancer, or the lone mid-tier."""
+        if self.frontend is not None:
+            return self.frontend.address
+        return self.midtier.address
 
 
 @dataclass
@@ -117,6 +202,14 @@ class RunResult:
     e2e: LatencyHistogram
     telemetry: Telemetry
     midtier_name: str
+    # All mid-tier replica machine names; [midtier_name] when unreplicated.
+    midtier_names: List[str] = field(default_factory=list)
+    # LoadBalancer.stats() snapshot, None for the single-replica topology.
+    lb_stats: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if not self.midtier_names:
+            self.midtier_names = [self.midtier_name]
 
     @property
     def throughput_qps(self) -> float:
@@ -124,10 +217,14 @@ class RunResult:
         return self.completed / (self.duration_us / 1e6) if self.duration_us else 0.0
 
     def syscalls_per_query(self) -> Dict[str, float]:
-        """Mid-tier syscall invocations normalized per completed query."""
-        counts = self.telemetry.syscall_counts(self.midtier_name)
+        """Mid-tier syscall invocations normalized per completed query,
+        summed across every replica."""
         denom = max(self.completed, 1)
-        return {name: count / denom for name, count in counts.items()}
+        merged: Dict[str, float] = {}
+        for name in self.midtier_names:
+            for syscall, count in self.telemetry.syscall_counts(name).items():
+                merged[syscall] = merged.get(syscall, 0.0) + count / denom
+        return merged
 
 
 def run_open_loop(
@@ -145,7 +242,7 @@ def run_open_loop(
         cluster.fabric,
         cluster.telemetry,
         cluster.rng,
-        target=service.midtier.address,
+        target=service.target_address,
         source=service.make_source(),
         qps=qps,
         tracer=tracer,
@@ -171,6 +268,8 @@ def run_open_loop(
         e2e=cluster.telemetry.hist(E2E_HIST),
         telemetry=cluster.telemetry,
         midtier_name=service.midtier_name,
+        midtier_names=service.midtier_names,
+        lb_stats=service.frontend.stats() if service.frontend else None,
     )
 
 
@@ -187,7 +286,7 @@ def run_closed_loop(
         cluster.fabric,
         cluster.telemetry,
         cluster.rng,
-        target=service.midtier.address,
+        target=service.target_address,
         source=service.make_source(),
         n_clients=n_clients,
     )
@@ -209,4 +308,6 @@ def run_closed_loop(
         e2e=cluster.telemetry.hist(E2E_HIST),
         telemetry=cluster.telemetry,
         midtier_name=service.midtier_name,
+        midtier_names=service.midtier_names,
+        lb_stats=service.frontend.stats() if service.frontend else None,
     )

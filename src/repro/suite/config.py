@@ -34,6 +34,18 @@ class ServiceScale:
     n_leaves: int = 4
     leaf_cores: int = 4
     midtier_cores: int = 8
+    # Scale-out: replicate the mid-tier N times behind a front-end load
+    # balancer (repro.rpc.loadbalance).  All replicas share the same leaf
+    # shards.  1 (the default) reproduces the paper's single-mid-tier
+    # topology exactly — no balancer is built and no extra randomness is
+    # drawn, so goldens are unaffected.
+    midtier_replicas: int = 1
+    # Balancing policy: round-robin | random | least-outstanding |
+    # power-of-two (see repro.rpc.loadbalance.POLICY_NAMES).
+    lb_policy: str = "round-robin"
+    # Per-replica connection pool: max requests in flight per replica
+    # before the balancer queues in its FIFO backlog.
+    lb_pool_size: int = 128
     # Router's replicated pools: shards × replicas leaves (paper: 16 × 3).
     router_shards: int = 4
     router_replicas: int = 3

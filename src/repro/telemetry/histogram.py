@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, List, Optional
+
+from repro.sim.rng import seeded_py
 
 
 class LatencyHistogram:
@@ -40,7 +41,7 @@ class LatencyHistogram:
             raise ValueError("reservoir_size must be positive")
         self.reservoir_size = reservoir_size
         self._seed = seed
-        self._rng = random.Random(seed)
+        self._rng = seeded_py(seed)
         self._samples: List[float] = []
         # False while the buffer still holds every sample; True once the
         # reservoir is full and per-sample replacement has begun.
@@ -54,7 +55,7 @@ class LatencyHistogram:
     def reset(self) -> None:
         """Forget every sample; the RNG restarts from the seed so a reset
         histogram behaves identically to a freshly constructed one."""
-        self._rng = random.Random(self._seed)
+        self._rng = seeded_py(self._seed)
         self._samples.clear()
         self._sampling = False
         self._count = 0
@@ -173,6 +174,26 @@ class LatencyHistogram:
     def samples(self) -> List[float]:
         """A copy of the reservoir samples (for violin-style plots)."""
         return list(self._samples)
+
+    @classmethod
+    def merged(
+        cls, parts: Iterable["LatencyHistogram"], reservoir_size: Optional[int] = None
+    ) -> "LatencyHistogram":
+        """Combine several histograms into one (per-replica roll-ups).
+
+        Replays each part's reservoir in order, so the merge is
+        deterministic; while all parts fit in the result's reservoir the
+        combined percentiles are exact.
+        """
+        parts = list(parts)
+        if reservoir_size is None:
+            reservoir_size = max(
+                [part.reservoir_size for part in parts], default=100_000
+            )
+        result = cls(reservoir_size)
+        for part in parts:
+            result.extend(part._samples)
+        return result
 
     def __len__(self) -> int:
         return self.count

@@ -171,3 +171,31 @@ class Telemetry:
     def irq_hist(self, machine: str, kind: str) -> LatencyHistogram:
         """IRQ latency histogram (empty if never recorded)."""
         return self.irq_latency.get((machine, kind), LatencyHistogram(1))
+
+    # -- replica roll-ups (scale-out topologies) ---------------------------
+    def merged_runqlat(self, machines: List[str]) -> LatencyHistogram:
+        """One runqlat histogram combining every named machine's samples."""
+        parts = [self.runqlat[name] for name in machines if name in self.runqlat]
+        return LatencyHistogram.merged(parts)
+
+    def merged_syscalls(self, machines: List[str]) -> Counter:
+        """Syscall counts summed across the named machines."""
+        merged: Counter = Counter()
+        for name in machines:
+            merged.update(self.syscalls.get(name, Counter()))
+        return merged
+
+    def replica_breakdown(self, machines: List[str]) -> Dict[str, Dict[str, float]]:
+        """Per-replica runqlat percentiles and syscall/context-switch totals
+        — the scale-out analogue of the paper's per-machine eBPF tables."""
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for name in machines:
+            runqlat = self.runqlat.get(name)
+            breakdown[name] = {
+                "runqlat_p50_us": runqlat.percentile(50) if runqlat else 0.0,
+                "runqlat_p99_us": runqlat.percentile(99) if runqlat else 0.0,
+                "runqlat_samples": float(runqlat.count) if runqlat else 0.0,
+                "syscalls": float(sum(self.syscalls.get(name, Counter()).values())),
+                "context_switches": float(self.context_switches.get(name, 0)),
+            }
+        return breakdown

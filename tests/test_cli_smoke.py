@@ -1,6 +1,11 @@
 """Smoke tests: the ``usuite`` CLI runs end to end at unit scale."""
 
+import json
+
+import pytest
+
 from repro.experiments.cli import main
+from repro.experiments.schema import SchemaError, load_schema, validate
 
 
 def test_cli_fig9_single_service(capsys):
@@ -47,3 +52,51 @@ def test_cli_overheads_single_cell(capsys):
     out = capsys.readouterr().out
     assert "active_exe" in out
     assert "retransmissions" in out
+
+
+def test_cli_scale_happy_path(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_scale.json"
+    exit_code = main([
+        "scale", "--scale", "unit", "--replicas", "1", "2",
+        "--policies", "round-robin", "--loads", "800",
+        "--duration-us", "120000", "--output", str(out_path),
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Scale-out sweep" in out
+    assert "saturation vs replicas" in out
+    assert "bit-identical" in out
+    # The artifact exists and conforms to the checked-in schema.
+    data = json.loads(out_path.read_text())
+    validate(data, load_schema("bench_scale.schema.json"))
+    assert data["reproducibility"]["bit_identical"] is True
+    assert len(data["cells"]) == 2
+
+
+def test_cli_scale_unknown_policy_exits_2(capsys):
+    exit_code = main(["scale", "--policies", "zigzag"])
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "unknown load-balancing policy" in err
+    assert "zigzag" in err
+    assert "round-robin" in err  # the message lists the valid choices
+
+
+def test_scale_schema_rejects_malformed_artifact():
+    schema = load_schema("bench_scale.schema.json")
+    with pytest.raises(SchemaError, match="missing required property"):
+        validate({"benchmark": "truncated"}, schema)
+    # Wrong-typed cell entries are also rejected, not silently accepted.
+    with pytest.raises(SchemaError):
+        validate(
+            {
+                "benchmark": "b", "service": "hdsearch", "scale": "unit",
+                "seed": 0,
+                "cells": [{"replicas": "three", "policy": "rr",
+                           "saturation_qps": 1.0, "loads": []}],
+                "reproducibility": {"replicas": 1, "policy": "direct",
+                                    "qps": 1.0, "bit_identical": True},
+                "acceptance": {"pass": True},
+            },
+            schema,
+        )

@@ -11,10 +11,14 @@ client's RNG stream), so each cell pins it before building its cluster.
 The cells use short windows so the guard stays cheap enough for tier 1.
 """
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.experiments.characterize import characterize
+from repro.experiments.scale_sweep import measure_load_point
 from repro.loadgen.client import _ClientBase
+from repro.suite import SCALES
 
 
 def _characterize_cell(service: str, qps: float):
@@ -63,3 +67,36 @@ def test_router_metrics_bit_identical():
     assert r.e2e.mean == 428.02994470279106
     assert r.e2e.percentile(50) == 418.5020823094965
     assert r.e2e.percentile(99) == 545.5744019678131
+
+
+# -- scale-out topologies ---------------------------------------------------
+# Replicated mid-tiers add a balancer endpoint, per-replica machines, and
+# (for the stochastic policies) an extra named RNG stream — all of which
+# must stay inside the determinism contract: same seed, same metrics,
+# bit for bit.  measure_load_point pins the load-generator instance
+# counter itself, so each call is a hermetic cell.
+
+def _scaleout_point(policy: str):
+    scale = SCALES["unit"].with_overrides(midtier_replicas=3, lb_policy=policy)
+    return measure_load_point(
+        "hdsearch", scale, qps=1500.0, seed=0,
+        duration_us=150_000.0, warmup_us=100_000.0,
+    )
+
+
+def test_scaleout_same_seed_bit_identical():
+    first = _scaleout_point("round-robin")
+    second = _scaleout_point("round-robin")
+    assert first.completed > 0
+    assert asdict(first) == asdict(second)
+
+
+def test_scaleout_policies_produce_different_goldens():
+    rr = _scaleout_point("round-robin")
+    p2c = _scaleout_point("power-of-two")
+    assert rr.completed > 0 and p2c.completed > 0
+    # Round-robin splits a 3-replica cell evenly; power-of-two's sampled
+    # choices cannot — so the balancing decisions, and through queueing
+    # the latency metrics, must genuinely differ between policies.
+    assert rr.per_replica_forwarded != p2c.per_replica_forwarded
+    assert asdict(rr) != asdict(p2c)

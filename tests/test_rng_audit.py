@@ -1,0 +1,76 @@
+"""Static audit: all randomness flows through ``repro.sim.rng``.
+
+Determinism (and therefore every golden test in this repo) rests on one
+rule: stochastic components draw from *named* streams handed out by
+:class:`repro.sim.rng.RngStreams`, or from RNGs built by its
+``seeded_py`` / ``seeded_np`` helpers with a seed that was itself drawn
+from a named stream (the Router ``replica_rng`` injection is the
+template).  A stray ``random.Random(...)`` — or worse, a draw from the
+process-global ``random`` module — silently couples unrelated subsystems
+and breaks bit-reproducibility the moment any draw order shifts.
+
+This test greps the source tree and fails on new offenders, so the rule
+is enforced rather than remembered.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The one module allowed to construct RNGs directly.
+ALLOWED = {Path("sim") / "rng.py"}
+
+#: Direct RNG construction outside repro.sim.rng.
+_CONSTRUCTION = re.compile(
+    r"random\.Random\s*\(|np\.random\.default_rng\s*\(|numpy\.random\.default_rng\s*\("
+)
+
+#: Draws from the process-global ``random`` module (``random.random()``,
+#: ``random.randrange(...)``, ...) — never acceptable anywhere: they share
+#: one hidden global stream.  A leading word char or dot means an instance
+#: method (``self._rng.random()``), which is fine.
+_GLOBAL_DRAW = re.compile(
+    r"(?<![\w.])random\.(random|randrange|randint|uniform|choice|choices|"
+    r"shuffle|sample|gauss|seed|expovariate|betavariate|normalvariate)\s*\("
+)
+
+#: Legacy numpy global-state API.
+_NP_GLOBAL = re.compile(r"(?<![\w.])np\.random\.(seed|rand|randn|randint|choice|shuffle)\s*\(")
+
+
+def _strip_comments(line: str) -> str:
+    return line.split("#", 1)[0]
+
+
+def test_no_rng_construction_outside_sim_rng():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        rel = path.relative_to(SRC_ROOT)
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = _strip_comments(line)
+            if _CONSTRUCTION.search(code):
+                offenders.append(f"src/repro/{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct RNG construction outside repro.sim.rng — use a named "
+        "RngStreams stream or sim.rng.seeded_py/seeded_np with a "
+        "stream-derived seed:\n" + "\n".join(offenders)
+    )
+
+
+def test_no_global_random_draws():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        rel = path.relative_to(SRC_ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = _strip_comments(line)
+            if _GLOBAL_DRAW.search(code) or _NP_GLOBAL.search(code):
+                offenders.append(f"src/repro/{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "draws from the process-global random state — inject a named "
+        "repro.sim.rng stream instead:\n" + "\n".join(offenders)
+    )
