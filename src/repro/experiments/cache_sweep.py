@@ -1,0 +1,472 @@
+"""Batching × caching sweep: batch size × cache capacity × load across
+all four services (``usuite cache``).
+
+The paper's dominant mid-tier costs — futex wakeups, NET_RX softirq
+work, sendmsg syscalls — are *per-message* (Figs. 11-18).  This
+experiment measures what the :mod:`repro.rpc.batching` leaf-request
+coalescer and the :mod:`repro.midcache` query-result cache buy back:
+
+* per service, an off-vs-on comparison (saturation under 2× overload,
+  plus p50/p99/futex-per-query at fixed loads);
+* a batch-size axis on HDSearch (occupancy vs added coalescing wait);
+* a cache-capacity axis on Router (Zipf hit rate vs footprint).
+
+``record_bench`` writes ``BENCH_cache.json`` validated against the
+checked-in ``schemas/bench_cache.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.schema import load_schema, validate
+from repro.experiments.tables import render_table
+from repro.loadgen import OpenLoopLoadGen
+from repro.loadgen.client import _ClientBase
+from repro.midcache import CACHE_POLICIES
+from repro.suite import SCALES, ServiceScale, SimCluster, build_service
+from repro.suite.cluster import run_open_loop
+from repro.suite.registry import SERVICE_NAMES
+
+#: The off-vs-on comparison's coalescer / cache sizing.
+DEFAULT_BATCH_MAX = 8
+DEFAULT_BATCH_WAIT_US = 50.0
+#: Large enough for HDSearch's cycling 2000-query set to hit exactly.
+DEFAULT_CAPACITY = 4096
+DEFAULT_POLICY = "lru"
+
+#: Axes (tentpole: batch size × cache capacity × load).
+BATCH_SIZES: Tuple[int, ...] = (4, 8, 16)
+CAPACITIES: Tuple[int, ...] = (256, 1024, 4096)
+BATCH_AXIS_SERVICE = "hdsearch"
+CAPACITY_AXIS_SERVICE = "router"
+
+#: Fixed offered loads; the paper's standard 10 K QPS cell is the
+#: acceptance cell.
+LOADS: Tuple[float, ...] = (1_000.0, 10_000.0)
+ACCEPTANCE_QPS = 10_000.0
+
+#: Open-loop overload that establishes saturation (the Fig. 9 method).
+SATURATION_OFFERED_QPS: Dict[str, float] = {
+    "hdsearch": 25_000.0,
+    "router": 25_000.0,
+    "setalgebra": 35_000.0,
+    "recommend": 28_000.0,
+}
+
+WARMUP_US = 200_000.0
+SATURATION_DURATION_US = 300_000.0
+DEFAULT_DURATION_US = 400_000.0
+
+#: Default artifact path, relative to the repository root / CWD.
+BENCH_PATH = "BENCH_cache.json"
+
+#: Acceptance: batching+caching must buy at least one of these on one
+#: service's 10 K QPS cell.
+TARGET_SATURATION_GAIN = 1.3
+TARGET_P99_REDUCTION = 0.25
+
+
+def sweep_scale(
+    batch_max: int,
+    cache_capacity: int,
+    scale: ServiceScale | str = "small",
+    batch_wait_us: float = DEFAULT_BATCH_WAIT_US,
+    cache_policy: str = DEFAULT_POLICY,
+    cache_ttl_us: Optional[float] = None,
+) -> ServiceScale:
+    """The sweep's scale: ``batch_max`` / ``cache_capacity`` of 0 = off."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    overrides: Dict[str, object] = {}
+    if batch_max > 0:
+        overrides.update(
+            batch_enable=True, batch_max=batch_max, batch_max_wait_us=batch_wait_us
+        )
+    if cache_capacity > 0:
+        overrides.update(
+            cache_enable=True,
+            cache_capacity=cache_capacity,
+            cache_policy=cache_policy,
+            cache_ttl_us=cache_ttl_us,
+        )
+    return scale.with_overrides(**overrides) if overrides else scale
+
+
+@dataclass
+class CachePoint:
+    """One (service, config, offered load) measurement."""
+
+    qps: float
+    sent: int
+    completed: int
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    futex_per_query: float
+    epoll_per_query: float
+    sendmsg_per_query: float
+    # Cache / coalescer roll-ups; empty dicts when the feature is off.
+    cache: Dict[str, float] = field(default_factory=dict)
+    batch: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class CacheCell:
+    """One (service, batch size, cache capacity) column of the sweep."""
+
+    service: str
+    batch_max: int  # 0 = batching off
+    cache_capacity: int  # 0 = caching off
+    saturation_qps: float  # 0.0 = not measured for this cell
+    loads: List[CachePoint] = field(default_factory=list)
+
+
+@dataclass
+class CacheSweepReport:
+    """The whole sweep plus the double-run reproducibility check."""
+
+    scale: str
+    seed: int
+    duration_us: float
+    cells: List[CacheCell]
+    repro_service: str
+    repro_qps: float
+    repro_first: CachePoint
+    repro_second: CachePoint
+
+    @property
+    def bit_reproducible(self) -> bool:
+        return asdict(self.repro_first) == asdict(self.repro_second)
+
+    def find_cell(
+        self, service: str, batch_max: int, cache_capacity: int
+    ) -> Optional[CacheCell]:
+        for cell in self.cells:
+            if (
+                cell.service == service
+                and cell.batch_max == batch_max
+                and cell.cache_capacity == cache_capacity
+            ):
+                return cell
+        return None
+
+    @staticmethod
+    def point_at(cell: Optional[CacheCell], qps: float) -> Optional[CachePoint]:
+        if cell is None:
+            return None
+        for point in cell.loads:
+            if point.qps == qps:
+                return point
+        return None
+
+
+def _pin_arrivals() -> None:
+    # Every cell re-creates the load generator; resetting the instance
+    # counter keeps its RNG stream name — and the Poisson arrival
+    # sequence — identical across cells, isolating the config effect.
+    _ClientBase._instances = 0
+
+
+def measure_saturation(
+    service_name: str,
+    scale: ServiceScale,
+    seed: int = 0,
+    duration_us: float = SATURATION_DURATION_US,
+    warmup_us: float = WARMUP_US,
+) -> float:
+    """Completion rate under ~2× open-loop overload (the Fig. 9 method)."""
+    _pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    service = build_service(service_name, cluster, scale)
+    gen = OpenLoopLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=service.target_address, source=service.make_source(),
+        qps=SATURATION_OFFERED_QPS.get(service_name, 25_000.0),
+    )
+    gen.start()
+    cluster.run(until=warmup_us)
+    completed_before = gen.completed
+    cluster.run(until=warmup_us + duration_us)
+    qps = (gen.completed - completed_before) / (duration_us / 1e6)
+    cluster.shutdown()
+    return qps
+
+
+def measure_cache_point(
+    service_name: str,
+    scale: ServiceScale,
+    qps: float,
+    seed: int = 0,
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = WARMUP_US,
+) -> CachePoint:
+    """One open-loop cell with cache/batch telemetry roll-ups."""
+    _pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    service = build_service(service_name, cluster, scale)
+    result = run_open_loop(
+        cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
+    )
+    per_query = result.syscalls_per_query()
+    telemetry = cluster.telemetry
+    names = service.midtier_names
+    point = CachePoint(
+        qps=qps,
+        sent=result.sent,
+        completed=result.completed,
+        p50_us=result.e2e.percentile(50),
+        p99_us=result.e2e.percentile(99),
+        mean_us=result.e2e.mean,
+        futex_per_query=per_query.get("futex", 0.0),
+        epoll_per_query=per_query.get("epoll_pwait", 0.0),
+        sendmsg_per_query=per_query.get("sendmsg", 0.0),
+    )
+    if getattr(scale, "cache_enable", False):
+        point.cache = telemetry.cache_summary(names)
+    if getattr(scale, "batch_enable", False):
+        point.batch = telemetry.batch_summary(names)
+    cluster.shutdown()
+    return point
+
+
+def run_cache_sweep(
+    services: Iterable[str] = SERVICE_NAMES,
+    loads: Sequence[float] = LOADS,
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    capacities: Sequence[int] = CAPACITIES,
+    scale: str = "small",
+    seed: int = 0,
+    duration_us: float = DEFAULT_DURATION_US,
+    saturation_duration_us: float = SATURATION_DURATION_US,
+    axes: bool = True,
+    cache_policy: str = DEFAULT_POLICY,
+) -> CacheSweepReport:
+    """Off-vs-on per service, plus the batch-size and capacity axes."""
+    services = list(services)
+    cells: List[CacheCell] = []
+
+    for service in services:
+        for batch_max, capacity in ((0, 0), (DEFAULT_BATCH_MAX, DEFAULT_CAPACITY)):
+            built = sweep_scale(batch_max, capacity, scale=scale, cache_policy=cache_policy)
+            cell = CacheCell(
+                service=service,
+                batch_max=batch_max,
+                cache_capacity=capacity,
+                saturation_qps=measure_saturation(
+                    service, built, seed=seed, duration_us=saturation_duration_us
+                ),
+            )
+            for qps in loads:
+                cell.loads.append(
+                    measure_cache_point(
+                        service, built, qps, seed=seed, duration_us=duration_us
+                    )
+                )
+            cells.append(cell)
+
+    acceptance_qps = max(loads) if loads else ACCEPTANCE_QPS
+    if axes:
+        # Batch-size axis (cache off isolates the coalescing effect).
+        for batch_max in batch_sizes:
+            if BATCH_AXIS_SERVICE not in services:
+                break
+            built = sweep_scale(batch_max, 0, scale=scale, cache_policy=cache_policy)
+            cell = CacheCell(
+                service=BATCH_AXIS_SERVICE,
+                batch_max=batch_max,
+                cache_capacity=0,
+                saturation_qps=0.0,
+            )
+            cell.loads.append(
+                measure_cache_point(
+                    BATCH_AXIS_SERVICE, built, acceptance_qps, seed=seed,
+                    duration_us=duration_us,
+                )
+            )
+            cells.append(cell)
+        # Capacity axis (batching off isolates the Zipf hit-rate curve).
+        for capacity in capacities:
+            if CAPACITY_AXIS_SERVICE not in services:
+                break
+            built = sweep_scale(0, capacity, scale=scale, cache_policy=cache_policy)
+            cell = CacheCell(
+                service=CAPACITY_AXIS_SERVICE,
+                batch_max=0,
+                cache_capacity=capacity,
+                saturation_qps=0.0,
+            )
+            cell.loads.append(
+                measure_cache_point(
+                    CAPACITY_AXIS_SERVICE, built, acceptance_qps, seed=seed,
+                    duration_us=duration_us,
+                )
+            )
+            cells.append(cell)
+
+    # Reproducibility: the fully-featured config (batch + cache + timers
+    # + single-flight), run twice from scratch under the same seed.
+    repro_service = services[0]
+    built = sweep_scale(DEFAULT_BATCH_MAX, DEFAULT_CAPACITY, scale=scale, cache_policy=cache_policy)
+    first = measure_cache_point(
+        repro_service, built, acceptance_qps, seed=seed, duration_us=duration_us
+    )
+    second = measure_cache_point(
+        repro_service, built, acceptance_qps, seed=seed, duration_us=duration_us
+    )
+
+    return CacheSweepReport(
+        scale=scale if isinstance(scale, str) else scale.name,
+        seed=seed,
+        duration_us=duration_us,
+        cells=cells,
+        repro_service=repro_service,
+        repro_qps=acceptance_qps,
+        repro_first=first,
+        repro_second=second,
+    )
+
+
+def acceptance(report: CacheSweepReport) -> Dict[str, object]:
+    """The checks ``record_bench`` commits alongside the data."""
+    services = sorted({cell.service for cell in report.cells})
+    qps = report.repro_qps
+    per_service: Dict[str, Dict[str, object]] = {}
+    headline = False
+    futex_lower_everywhere = True
+    hit_rate_positive = True
+    for service in services:
+        off = report.find_cell(service, 0, 0)
+        on = report.find_cell(service, DEFAULT_BATCH_MAX, DEFAULT_CAPACITY)
+        if off is None or on is None:
+            continue
+        p_off = report.point_at(off, qps)
+        p_on = report.point_at(on, qps)
+        if p_off is None or p_on is None:
+            continue
+        saturation_gain = (
+            on.saturation_qps / off.saturation_qps if off.saturation_qps else 0.0
+        )
+        p99_reduction = 1.0 - p_on.p99_us / p_off.p99_us if p_off.p99_us else 0.0
+        futex_lower = p_on.futex_per_query < p_off.futex_per_query
+        hit_rate = float(p_on.cache.get("hit_rate", 0.0))
+        per_service[service] = {
+            "saturation_off_qps": round(off.saturation_qps, 1),
+            "saturation_on_qps": round(on.saturation_qps, 1),
+            "saturation_gain": round(saturation_gain, 3),
+            "p99_off_us": round(p_off.p99_us, 1),
+            "p99_on_us": round(p_on.p99_us, 1),
+            "p99_reduction": round(p99_reduction, 3),
+            "futex_off_per_query": round(p_off.futex_per_query, 2),
+            "futex_on_per_query": round(p_on.futex_per_query, 2),
+            "futex_strictly_lower": futex_lower,
+            "hit_rate": round(hit_rate, 3),
+        }
+        if (
+            saturation_gain >= TARGET_SATURATION_GAIN
+            or p99_reduction >= TARGET_P99_REDUCTION
+        ):
+            headline = True
+        futex_lower_everywhere = futex_lower_everywhere and futex_lower
+        hit_rate_positive = hit_rate_positive and hit_rate > 0.0
+
+    checks: Dict[str, object] = {
+        "acceptance_qps": qps,
+        "target_saturation_gain": TARGET_SATURATION_GAIN,
+        "target_p99_reduction": TARGET_P99_REDUCTION,
+        "per_service": per_service,
+        "headline_win": headline,
+        "futex_strictly_lower_everywhere": futex_lower_everywhere,
+        "hit_rate_positive_everywhere": hit_rate_positive,
+        "bit_reproducible": report.bit_reproducible,
+    }
+    checks["pass"] = bool(
+        headline
+        and futex_lower_everywhere
+        and hit_rate_positive
+        and report.bit_reproducible
+        and bool(per_service)
+    )
+    return checks
+
+
+def format_cache_sweep(report: CacheSweepReport) -> str:
+    """The sweep as off-vs-on, batch-axis, and capacity-axis tables."""
+    rows = []
+    for cell in report.cells:
+        for point in cell.loads:
+            rows.append((
+                cell.service,
+                cell.batch_max or "-",
+                cell.cache_capacity or "-",
+                f"{point.qps:g}",
+                f"{cell.saturation_qps:,.0f}" if cell.saturation_qps else "-",
+                round(point.p50_us),
+                round(point.p99_us),
+                f"{point.futex_per_query:.1f}",
+                f"{point.cache.get('hit_rate', 0.0):.2f}" if point.cache else "-",
+                f"{point.batch.get('mean_occupancy', 0.0):.1f}" if point.batch else "-",
+            ))
+    out = ["batching x caching cells:"]
+    out.append(render_table(
+        ("service", "batch", "capacity", "QPS", "saturation", "p50 us",
+         "p99 us", "futex/q", "hit rate", "occupancy"),
+        rows,
+    ))
+    out.append("")
+    out.append(
+        f"reproducibility ({report.repro_service}, batch={DEFAULT_BATCH_MAX}, "
+        f"capacity={DEFAULT_CAPACITY} @ {report.repro_qps:g} QPS): "
+        + ("bit-identical" if report.bit_reproducible else "DIVERGED")
+    )
+    return "\n".join(out)
+
+
+def to_document(report: CacheSweepReport) -> dict:
+    """The JSON artifact (validates against bench_cache.schema.json)."""
+    checks = acceptance(report)
+    return {
+        "benchmark": (
+            f"leaf-request batching + mid-tier result cache, "
+            f"scale={report.scale} (batch={DEFAULT_BATCH_MAX}, "
+            f"capacity={DEFAULT_CAPACITY} {DEFAULT_POLICY}), seed={report.seed}"
+        ),
+        "scale": report.scale,
+        "seed": report.seed,
+        "duration_us": report.duration_us,
+        "defaults": {
+            "batch_max": DEFAULT_BATCH_MAX,
+            "batch_max_wait_us": DEFAULT_BATCH_WAIT_US,
+            "cache_capacity": DEFAULT_CAPACITY,
+            "cache_policy": DEFAULT_POLICY,
+        },
+        "cells": [asdict(cell) for cell in report.cells],
+        "reproducibility": {
+            "service": report.repro_service,
+            "qps": report.repro_qps,
+            "bit_identical": report.bit_reproducible,
+            "first": asdict(report.repro_first),
+            "second": asdict(report.repro_second),
+        },
+        "acceptance": checks,
+    }
+
+
+def record_bench(report: CacheSweepReport, path: str = BENCH_PATH) -> dict:
+    """Validate the artifact against the checked-in schema and write it."""
+    document = to_document(report)
+    validate(document, load_schema("bench_cache.schema.json"))
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+__all__ = [
+    "BATCH_SIZES", "CACHE_POLICIES", "CAPACITIES", "DEFAULT_BATCH_MAX",
+    "DEFAULT_CAPACITY", "DEFAULT_DURATION_US", "LOADS", "BENCH_PATH",
+    "CacheCell", "CachePoint", "CacheSweepReport", "acceptance",
+    "format_cache_sweep", "measure_cache_point", "measure_saturation",
+    "record_bench", "run_cache_sweep", "sweep_scale", "to_document",
+]

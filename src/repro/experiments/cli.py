@@ -23,7 +23,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.midcache import CACHE_POLICIES
 from repro.suite.registry import SERVICE_NAMES
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (capacities, batch sizes)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer: {text!r}")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +176,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measured window per cell (default: 500 ms)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_scale.json)")
+
+    p = sub.add_parser("cache", help="leaf batching x result cache sweep")
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--services", nargs="+", choices=SERVICE_NAMES,
+                   default=list(SERVICE_NAMES))
+    p.add_argument("--loads", nargs="+", type=float, default=None,
+                   help="offered loads in QPS (default: 1000 10000)")
+    p.add_argument("--batch-sizes", nargs="+", type=_positive_int, default=None,
+                   metavar="N", help="batch-size axis (default: 4 8 16)")
+    p.add_argument("--capacity", nargs="+", type=_positive_int, default=None,
+                   metavar="N", help="cache-capacity axis (default: 256 1024 4096)")
+    p.add_argument("--policy", choices=CACHE_POLICIES, default="lru",
+                   help="cache eviction policy")
+    p.add_argument("--duration-us", type=float, default=None,
+                   help="measured window per cell (default: 400 ms)")
+    p.add_argument("--no-axes", action="store_true",
+                   help="skip the batch-size / capacity axes (off-vs-on only)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_cache.json)")
 
     p = sub.add_parser("figure-smoke",
                        help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
@@ -449,6 +481,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"Scale-out sweep — {args.service}")
         print(format_scale_sweep(report))
+        if args.output:
+            data = record_bench(report, path=args.output)
+            verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
+            print(f"recorded {args.output} (acceptance: {verdict})")
+        else:
+            checks = acceptance(report)
+            print(f"acceptance: {'pass' if checks['pass'] else 'FAIL'}")
+
+    elif command == "cache":
+        from repro.experiments import cache_sweep
+        from repro.experiments.cache_sweep import (
+            acceptance, format_cache_sweep, record_bench, run_cache_sweep,
+        )
+
+        kwargs = {}
+        if args.duration_us:
+            kwargs["duration_us"] = args.duration_us
+        report = run_cache_sweep(
+            services=args.services,
+            loads=args.loads or cache_sweep.LOADS,
+            batch_sizes=args.batch_sizes or cache_sweep.BATCH_SIZES,
+            capacities=args.capacity or cache_sweep.CAPACITIES,
+            scale=args.scale,
+            seed=args.seed,
+            axes=not args.no_axes,
+            cache_policy=args.policy,
+            **kwargs,
+        )
+        print("Batching x caching sweep")
+        print(format_cache_sweep(report))
         if args.output:
             data = record_bench(report, path=args.output)
             verdict = "pass" if data["acceptance"]["pass"] else "FAIL"

@@ -25,7 +25,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.kernel.machine import Machine
 from repro.kernel.ops import Nanosleep
+from repro.midcache import QueryCache
 from repro.rpc.apps import MidTierApp
+from repro.rpc.batching import BatchConfig
 from repro.rpc.policy import TailPolicy
 from repro.rpc.server import MidTierRuntime, RuntimeConfig
 
@@ -60,6 +62,8 @@ class AdaptiveMidTierRuntime(MidTierRuntime):
         config: RuntimeConfig,
         policy: Optional[AdaptivePolicy] = None,
         tail_policy: Optional[TailPolicy] = None,
+        batch_config: Optional[BatchConfig] = None,
+        cache: Optional[QueryCache] = None,
     ):
         self.policy = policy or AdaptivePolicy()
         self.active_workers = config.worker_threads
@@ -67,7 +71,10 @@ class AdaptiveMidTierRuntime(MidTierRuntime):
         self.resizes = 0
         self.mode_history: List[Tuple[float, str]] = []
         self.resize_history: List[Tuple[float, int]] = []
-        super().__init__(machine, port, app, leaf_addrs, config, tail_policy=tail_policy)
+        super().__init__(
+            machine, port, app, leaf_addrs, config, tail_policy=tail_policy,
+            batch_config=batch_config, cache=cache,
+        )
         machine.spawn("adapt-monitor", self._monitor_loop())
 
     # -- adapted worker pool -------------------------------------------------
@@ -82,8 +89,8 @@ class AdaptiveMidTierRuntime(MidTierRuntime):
                 wait_timeout_us=self.config.worker_wait_timeout_us
             )
             if isinstance(item, tuple):
-                request, plan = item
-                yield from self._process(request, plan)
+                request, plan, cache_key = item
+                yield from self._process(request, plan, cache_key)
             else:
                 yield from self._process(item)
 
@@ -135,10 +142,16 @@ def make_midtier_runtime(
     leaf_addrs: Sequence[Address],
     config: RuntimeConfig,
     tail_policy: Optional[TailPolicy] = None,
+    batch_config: Optional[BatchConfig] = None,
+    cache: Optional[QueryCache] = None,
 ) -> MidTierRuntime:
     """Construct the right mid-tier runtime for ``config``."""
     if config.adaptive:
         return AdaptiveMidTierRuntime(
-            machine, port, app, leaf_addrs, config, tail_policy=tail_policy
+            machine, port, app, leaf_addrs, config, tail_policy=tail_policy,
+            batch_config=batch_config, cache=cache,
         )
-    return MidTierRuntime(machine, port, app, leaf_addrs, config, tail_policy=tail_policy)
+    return MidTierRuntime(
+        machine, port, app, leaf_addrs, config, tail_policy=tail_policy,
+        batch_config=batch_config, cache=cache,
+    )

@@ -11,7 +11,7 @@ CPU time the runtime charges to the simulated core.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -51,6 +51,25 @@ class MidTierApp:
     def merge(self, query: Any, responses: Sequence[Any]) -> MergeResult:
         """Merge leaf responses into the final reply."""
         raise NotImplementedError
+
+    # -- result-cache hooks (repro.midcache) -------------------------------
+    def cache_key(self, query: Any) -> Optional[bytes]:
+        """Canonicalized query bytes for the mid-tier result cache.
+
+        Return None (the default) for queries that must not be cached —
+        e.g. writes, or services that opt out entirely.  Two queries with
+        the same key MUST produce semantically identical merged replies;
+        the differential-equivalence tests enforce this per service.
+        """
+        return None
+
+    def cache_invalidates(self, query: Any) -> Optional[bytes]:
+        """Cache key shadowed by this query (writes), or None.
+
+        Router's ``set`` ops return the corresponding ``get`` key here so
+        cached reads never survive a write to the same key.
+        """
+        return None
 
 
 class LeafApp:

@@ -23,7 +23,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.kernel.machine import Machine
 from repro.kernel.ops import Compute, EpollWait, Nanosleep, SockRecv, SockSend
 from repro.kernel.futex import Mutex
+from repro.midcache import QueryCache
 from repro.rpc.apps import LeafApp, MidTierApp
+from repro.rpc.batching import BATCH_HEADER_BYTES, BatchConfig, BatchEnvelope, BatchReply, LeafBatcher
 from repro.rpc.message import RpcRequest, RpcResponse
 from repro.rpc.policy import TailPolicy
 from repro.rpc.queue import TaskQueue
@@ -172,6 +174,9 @@ class LeafRuntime(_RuntimeBase):
             yield from self._serve(request)
 
     def _serve(self, request: RpcRequest):
+        if isinstance(request.payload, BatchEnvelope):
+            yield from self._serve_batch(request)
+            return
         fault = self.fault
         if fault is not None:
             decision, stall_us = fault.pre_serve(self.machine.sim.now)
@@ -209,6 +214,58 @@ class LeafRuntime(_RuntimeBase):
             )
         yield SockSend(self.server_sock, request.reply_to, response, result.size_bytes)
 
+    def _serve_batch(self, envelope: RpcRequest):
+        """Serve a coalesced batch: every sub-request, one compute charge,
+        one reply message — so the per-message softirq/wakeup costs are
+        paid once per batch instead of once per sub-request."""
+        fault = self.fault
+        if fault is not None:
+            decision, stall_us = fault.pre_serve(self.machine.sim.now)
+            if decision == "drop":
+                # Crashed: the whole batch is lost, like a dropped message.
+                return
+            if decision == "stall":
+                yield Nanosleep(stall_us)
+        serve_start = envelope.arrive_time or self.machine.sim.now
+        now = self.machine.sim.now
+        total_compute = 0.0
+        replies: List[RpcResponse] = []
+        for sub in envelope.payload.subrequests:
+            if sub.deadline is not None and now > sub.deadline:
+                self.machine.telemetry.incr(f"leaf_deadline_drops:{self.machine.name}")
+                continue
+            self.machine.alloc_tick()
+            result = self.app.handle(sub.payload)
+            compute_us = result.compute_us
+            if fault is not None:
+                compute_us = fault.inflate(compute_us)
+            total_compute += compute_us
+            reply = RpcResponse(
+                request_id=sub.request_id,
+                payload=result.payload,
+                size_bytes=result.size_bytes,
+                parent_id=sub.parent_id,
+                client_start=sub.client_start,
+            )
+            replies.append(reply)
+        if not replies:
+            return  # every sub-request was shed past its deadline
+        yield Compute(total_compute, tag="leaf-compute")
+        for sub in envelope.payload.subrequests:
+            if sub.trace is not None:
+                sub.trace.record(
+                    f"leaf:{self.machine.name}", self.machine.name,
+                    serve_start, self.machine.sim.now,
+                )
+        size = BATCH_HEADER_BYTES + sum(r.size_bytes for r in replies)
+        batch_reply = RpcResponse(
+            request_id=envelope.request_id,
+            payload=BatchReply(replies),
+            size_bytes=size,
+        )
+        batch_reply.upstream_net_us = envelope.net_us
+        yield SockSend(self.server_sock, envelope.reply_to, batch_reply, size)
+
 
 class _PendingRequest:
     """Fan-out bookkeeping for one in-flight mid-tier request.
@@ -224,6 +281,7 @@ class _PendingRequest:
         "request", "expected", "responses", "arrival", "request_path_us",
         "sub_slot", "slot_info", "sent_at", "responded_slots", "dup_ids",
         "slot_timers", "deadline_at", "deadline_call", "finished", "partial",
+        "cache_key",
     )
 
     def __init__(
@@ -240,6 +298,10 @@ class _PendingRequest:
         self.partial = False
         self.deadline_at: Optional[float] = None
         self.deadline_call = None
+        # repro.midcache: the key this query's merge will be stored under
+        # (and whose single-flight followers it will answer); None when
+        # caching is off or the query is uncacheable.
+        self.cache_key: Optional[bytes] = None
         if track_slots:
             # sub-request id → fan-out slot; slot → (leaf, payload, size).
             self.sub_slot: Optional[Dict[int, int]] = {}
@@ -287,6 +349,8 @@ class MidTierRuntime(_RuntimeBase):
         leaf_addrs: Sequence[Address],
         config: RuntimeConfig,
         tail_policy: Optional[TailPolicy] = None,
+        batch_config: Optional[BatchConfig] = None,
+        cache: Optional[QueryCache] = None,
     ):
         super().__init__(machine, port, config)
         self.app = app
@@ -295,6 +359,14 @@ class MidTierRuntime(_RuntimeBase):
         # randomness, and keeps the runtime bit-identical to the policy-
         # free engine (guarded by tests/test_golden_determinism.py).
         self.tail_policy = tail_policy
+        # Leaf-request coalescer and query-result cache (both None by
+        # default: the off path constructs nothing, arms no timers, and
+        # stays bit-identical to the batch/cache-free goldens).
+        self.batcher = LeafBatcher(self, batch_config) if batch_config else None
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.single_flight_waits = 0
         self.subrequests_sent = 0
         self.hedges_sent = 0
         self.hedges_denied = 0
@@ -331,11 +403,19 @@ class MidTierRuntime(_RuntimeBase):
             request.trace.begin("queue_wait", self.machine.name, self.machine.sim.now)
         if self.config.parse_in_network_thread:
             # McRouter-style: parse + route computation runs right here,
-            # under the completion-queue lock the caller holds.
+            # under the completion-queue lock the caller holds — and so
+            # does the cache probe, which on a hit replaces the route
+            # computation entirely (the McRouter-local-cache fast path).
+            cache_key = None
+            if self.cache is not None:
+                outcome, data = yield from self._cache_check(request)
+                if outcome == "done":
+                    return
+                cache_key = data
             self.machine.alloc_tick()
             plan = self.app.fanout(request.payload)
             yield Compute(plan.compute_us, tag="midtier-request")
-            yield from self.task_queue.put((request, plan))
+            yield from self.task_queue.put((request, plan, cache_key))
         else:
             yield from self.task_queue.put(request)
 
@@ -348,16 +428,79 @@ class MidTierRuntime(_RuntimeBase):
                 wait_timeout_us=self.config.worker_wait_timeout_us
             )
             if isinstance(item, tuple):
-                request, plan = item
-                yield from self._process(request, plan)
+                request, plan, cache_key = item
+                yield from self._process(request, plan, cache_key)
             else:
                 yield from self._process(item)
 
-    def _process(self, request: RpcRequest, plan=None):
+    def _cache_check(self, request: RpcRequest):
+        """Generator: probe the result cache for one query.
+
+        Returns ``("done", None)`` when the request needs no fan-out (it
+        was answered from the cache, or parked behind a single-flight
+        leader), else ``("miss", key)`` where ``key`` is the cache key the
+        eventual merge must be stored under (None if uncacheable).
+        """
+        cache = self.cache
+        invalidates = self.app.cache_invalidates(request.payload)
+        if invalidates is not None and cache.invalidate(invalidates):
+            self.machine.telemetry.incr(f"midcache_invalidations:{self.machine.name}")
+        key = self.app.cache_key(request.payload)
+        if key is None:
+            return "miss", None
+        hit, value = cache.lookup(key, self.machine.sim.now)
+        if hit:
+            self.cache_hits += 1
+            self.machine.telemetry.incr(f"midcache_hits:{self.machine.name}")
+            payload, size_bytes = value
+            yield Compute(cache.config.hit_compute_us, tag="midcache-hit")
+            yield from self._reply_cached(request, payload, size_bytes)
+            return "done", None
+        self.cache_misses += 1
+        self.machine.telemetry.incr(f"midcache_misses:{self.machine.name}")
+        if cache.join_flight(key, request):
+            # An identical query is already fanning out; its merge will
+            # answer this one too.  No second fan-out is issued.
+            self.single_flight_waits += 1
+            self.machine.telemetry.incr(f"midcache_coalesced:{self.machine.name}")
+            return "done", None
+        return "miss", key
+
+    def _reply_cached(
+        self, request: RpcRequest, payload, size_bytes: int,
+        partial: bool = False, label: str = "cache_hit",
+    ):
+        """Generator: answer one query from a cached (or coalesced) merge."""
+        arrival = request.arrive_time or self.machine.sim.now
+        reply = RpcResponse(
+            request_id=request.request_id,
+            payload=payload,
+            size_bytes=size_bytes,
+            client_start=request.client_start,
+        )
+        reply.partial = partial
+        reply.upstream_net_us = request.net_us
+        now = self.machine.sim.now
+        telemetry = self.machine.telemetry
+        telemetry.record(f"net_rpc:{self.machine.name}", request.net_us)
+        telemetry.record(f"midtier_latency:{self.machine.name}", now - arrival)
+        telemetry.record(f"midtier_span:{self.machine.name}", now - arrival)
+        if request.trace is not None:
+            request.trace.record(label, self.machine.name, arrival, now)
+            reply.trace = request.trace
+        self.completed += 1
+        yield SockSend(self.server_sock, request.reply_to, reply, size_bytes)
+
+    def _process(self, request: RpcRequest, plan=None, cache_key=None):
         """Request path: service compute, then asynchronous leaf fan-out."""
         if request.trace is not None:
             request.trace.end_last("queue_wait", self.machine.sim.now)
         if plan is None:
+            if self.cache is not None:
+                outcome, data = yield from self._cache_check(request)
+                if outcome == "done":
+                    return
+                cache_key = data
             self.machine.alloc_tick()
             plan = self.app.fanout(request.payload)
             yield Compute(plan.compute_us, tag="midtier-request")
@@ -365,6 +508,7 @@ class MidTierRuntime(_RuntimeBase):
         if not plan.subrequests:
             # Degenerate fan-out (e.g. LSH found no candidates): merge empty.
             entry = _PendingRequest(request, expected=0, arrival=arrival)
+            entry.cache_key = cache_key
             entry.request_path_us = self.machine.sim.now - arrival
             yield from self._finish(entry, [], last_arrival=self.machine.sim.now)
             return
@@ -373,6 +517,7 @@ class MidTierRuntime(_RuntimeBase):
             request, expected=len(plan.subrequests), arrival=arrival,
             track_slots=policy is not None,
         )
+        entry.cache_key = cache_key
         if policy is not None and policy.deadline_us is not None:
             entry.deadline_at = arrival + policy.deadline_us
         yield from self.pending_mutex.acquire()
@@ -394,7 +539,7 @@ class MidTierRuntime(_RuntimeBase):
                 entry.slot_info[slot] = (leaf_index, payload, size_bytes)
                 entry.sent_at[slot] = self.machine.sim.now
             self.subrequests_sent += 1
-            yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
+            yield from self._send_sub(leaf_index, sub, size_bytes)
         # Responses may already have arrived (sends advance time), so arm
         # timers only for still-unanswered slots, and never after finish.
         if policy is not None and not entry.finished:
@@ -418,12 +563,25 @@ class MidTierRuntime(_RuntimeBase):
                 # *outside* the socket lock so merges never serialize.
                 yield from sock.lock.acquire()
                 message = yield SockRecv(sock)
-                completed = None
+                completed: List[tuple] = []
                 if message is not None:
-                    completed = yield from self._countdown(message)
+                    if isinstance(message.payload, BatchReply):
+                        # Fan-in demux: one fabric message, many
+                        # sub-responses — possibly completing several
+                        # pending queries in one softirq's worth of work.
+                        for sub in message.payload.responses:
+                            sub.arrive_time = message.arrive_time
+                            sub.net_us = message.net_us
+                            sub.upstream_net_us = message.upstream_net_us
+                            done = yield from self._countdown(sub)
+                            if done is not None:
+                                completed.append(done)
+                    else:
+                        done = yield from self._countdown(message)
+                        if done is not None:
+                            completed.append(done)
                 yield from sock.lock.release()
-                if completed is not None:
-                    entry, last_arrival = completed
+                for entry, last_arrival in completed:
                     yield from self._finish(entry, entry.responses, last_arrival)
 
     def _countdown(self, response: RpcResponse):
@@ -577,7 +735,19 @@ class MidTierRuntime(_RuntimeBase):
         sub.deadline = entry.deadline_at
         entry.sub_slot[sub.request_id] = slot
         entry.dup_ids.add(sub.request_id)
-        yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
+        yield from self._send_sub(leaf_index, sub, size_bytes)
+
+    def _send_sub(self, leaf_index: int, sub: RpcRequest, size_bytes: int):
+        """Generator: one leaf sub-request, coalesced when batching is on.
+
+        Every fan-out send — originals, hedges, and retries — funnels
+        through here, so duplicates ride the same coalescing path and a
+        batch flush pays the per-message softirq/wakeup cost once.
+        """
+        if self.batcher is not None:
+            yield from self.batcher.add(leaf_index, sub, size_bytes)
+        else:
+            yield SockSend(self.client_sock, self.leaf_addrs[leaf_index], sub, size_bytes)
 
     def _deadline_fire(self, entry: _PendingRequest) -> None:
         """Deadline timer: degrade to whatever responses arrived in time."""
@@ -650,6 +820,34 @@ class MidTierRuntime(_RuntimeBase):
             reply.trace = request.trace  # carried back to the client
         self.completed += 1
         yield SockSend(self.server_sock, request.reply_to, reply, merged.size_bytes)
+        if self.cache is not None and entry.cache_key is not None:
+            # Close the single-flight: store the merge (never a partial
+            # one — a degraded reply must not shadow future full merges)
+            # and answer every query that coalesced behind this fan-out.
+            followers = self.cache.end_flight(entry.cache_key)
+            if not entry.partial:
+                self.cache.insert(
+                    entry.cache_key,
+                    (merged.payload, merged.size_bytes),
+                    self.machine.sim.now,
+                )
+            for follower in followers:
+                yield from self._reply_cached(
+                    follower, merged.payload, merged.size_bytes,
+                    partial=entry.partial, label="single_flight",
+                )
+
+    def cache_stats(self) -> Optional[Dict[str, float]]:
+        """Result-cache accounting, or None when caching is off."""
+        if self.cache is None:
+            return None
+        return self.cache.stats()
+
+    def batch_stats(self) -> Optional[Dict[str, float]]:
+        """Coalescer accounting, or None when batching is off."""
+        if self.batcher is None:
+            return None
+        return self.batcher.stats()
 
     def tail_stats(self) -> Dict[str, float]:
         """Tail-tolerance accounting for experiment reports."""

@@ -111,6 +111,12 @@ class HdSearchMidTierApp(MidTierApp):
         self._plan_cache[id(query_vec)] = (query_vec, plan)
         return plan
 
+    def cache_key(self, query) -> bytes:
+        # Exact-match semantics: two queries hit the same cache line only
+        # when their vectors are byte-identical (no ANN-style fuzziness).
+        _tag, query_vec = query
+        return b"hds:" + query_vec.tobytes()
+
     def merge(self, query, responses: Sequence[List[Tuple[int, float]]]) -> MergeResult:
         merged: List[Tuple[int, float]] = []
         for leaf_top in responses:

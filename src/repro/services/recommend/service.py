@@ -65,6 +65,11 @@ class RecommendMidTierApp(MidTierApp):
         self.forward_cost = forward_cost
         self.average_cost = average_cost
 
+    def cache_key(self, query: Tuple[int, int]) -> bytes:
+        # Predictions are a pure function of the (user, item) pair.
+        user, item = query
+        return b"rec:%d:%d" % (user, item)
+
     def fanout(self, query: Tuple[int, int]) -> FanoutPlan:
         subrequests = [(leaf, query, _QUERY_BYTES) for leaf in range(self.n_leaves)]
         return FanoutPlan(compute_us=self.forward_cost(1), subrequests=subrequests)

@@ -97,6 +97,20 @@ class RouterMidTierApp(MidTierApp):
             if self.leaf_index(shard, replica) not in self._down
         ]
 
+    def cache_key(self, op: KvOp):
+        # Only reads are cacheable; a hit skips the SpookyHash + replica
+        # pick entirely (McRouter's local-cache fast path).
+        if op.op == "get":
+            return b"get:" + op.key.encode()
+        return None
+
+    def cache_invalidates(self, op: KvOp):
+        # Writes shadow the key they store: the cached get must die so a
+        # later read cannot see the pre-write value.
+        if op.op == "set":
+            return b"get:" + op.key.encode()
+        return None
+
     def fanout(self, op: KvOp) -> FanoutPlan:
         shard = self.hasher.shard_for(op.key, self.n_shards)
         compute = self.hash_cost(len(op.key))

@@ -55,6 +55,12 @@ class SetAlgebraMidTierApp(MidTierApp):
         self.forward_cost = forward_cost
         self.union_cost = union_cost
 
+    def cache_key(self, terms: Sequence[int]) -> bytes:
+        # Intersection ∩ union is order- and multiplicity-insensitive, so
+        # canonicalize to the sorted term set: {a,b} and [b,a,b] share one
+        # cache line (and provably the same merged posting list).
+        return b"sa:" + b",".join(b"%d" % t for t in sorted(set(terms)))
+
     def fanout(self, terms: Sequence[int]) -> FanoutPlan:
         size = _HEADER_BYTES + 8 * len(terms)
         subrequests = [(leaf, terms, size) for leaf in range(self.n_leaves)]

@@ -15,8 +15,10 @@ from repro.kernel import Machine, MachineSpec, OsCosts
 from repro.kernel.scheduler import PlacementPolicy
 from repro.loadgen import ClosedLoopLoadGen, OpenLoopLoadGen, QuerySource
 from repro.loadgen.client import E2E_HIST
+from repro.midcache import CacheConfig, QueryCache
 from repro.net import Fabric, LinkSpec
 from repro.rpc.adaptive import make_midtier_runtime
+from repro.rpc.batching import BatchConfig
 from repro.rpc.loadbalance import LoadBalancer
 from repro.rpc.server import LeafRuntime, MidTierRuntime
 from repro.sim import RngStreams, Simulation
@@ -113,13 +115,33 @@ def build_midtier_replicas(
     ``frontend`` is None for the single-replica case.
     """
     n_replicas = getattr(scale, "midtier_replicas", 1)
+    # Batching / caching knobs (repro.rpc.batching, repro.midcache).  Both
+    # default off: the configs below stay None, the runtimes construct
+    # nothing extra, and pre-existing goldens are bit-identical.
+    batch_config = None
+    if getattr(scale, "batch_enable", False):
+        batch_config = BatchConfig(
+            max_batch=scale.batch_max, max_wait_us=scale.batch_max_wait_us
+        )
+    cache_config = None
+    if getattr(scale, "cache_enable", False):
+        cache_config = CacheConfig(
+            capacity=scale.cache_capacity,
+            ttl_us=scale.cache_ttl_us,
+            policy=scale.cache_policy,
+        )
+
+    def _make_cache():
+        # One private cache per replica, like a replica-local memcached.
+        return QueryCache(cache_config) if cache_config is not None else None
+
     if n_replicas <= 1:
         machine = cluster.machine(
             f"{name_prefix}-mid", cores=cores, policy=midtier_policy, role="midtier"
         )
         runtime = make_midtier_runtime(
             machine, port=port, app=app, leaf_addrs=leaf_addrs, config=config,
-            tail_policy=tail_policy,
+            tail_policy=tail_policy, batch_config=batch_config, cache=_make_cache(),
         )
         return [runtime], [machine], None
     runtimes: List[MidTierRuntime] = []
@@ -132,7 +154,8 @@ def build_midtier_replicas(
         runtimes.append(
             make_midtier_runtime(
                 machine, port=port, app=app, leaf_addrs=leaf_addrs, config=config,
-                tail_policy=tail_policy,
+                tail_policy=tail_policy, batch_config=batch_config,
+                cache=_make_cache(),
             )
         )
         machines.append(machine)

@@ -19,7 +19,7 @@ algorithmic variation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.rpc.server import RuntimeConfig
 
@@ -46,6 +46,17 @@ class ServiceScale:
     # Per-replica connection pool: max requests in flight per replica
     # before the balancer queues in its FIFO backlog.
     lb_pool_size: int = 128
+    # Leaf-request batching (repro.rpc.batching): off by default — nothing
+    # is constructed and every pre-batching golden stays bit-identical.
+    batch_enable: bool = False
+    batch_max: int = 8
+    batch_max_wait_us: float = 50.0
+    # Mid-tier query-result cache (repro.midcache): off by default, same
+    # bit-identity guarantee.  One cache per mid-tier replica.
+    cache_enable: bool = False
+    cache_capacity: int = 1024
+    cache_ttl_us: Optional[float] = None  # None = entries never expire
+    cache_policy: str = "lru"
     # Router's replicated pools: shards × replicas leaves (paper: 16 × 3).
     router_shards: int = 4
     router_replicas: int = 3

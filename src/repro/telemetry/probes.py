@@ -185,6 +185,60 @@ class Telemetry:
             merged.update(self.syscalls.get(name, Counter()))
         return merged
 
+    # -- batching / caching roll-ups (repro.rpc.batching, repro.midcache) --
+    def cache_summary(self, machines: List[str]) -> Dict[str, float]:
+        """Hit/miss/single-flight counters summed across mid-tier replicas."""
+        hits = sum(self.counters.get(f"midcache_hits:{m}", 0) for m in machines)
+        misses = sum(self.counters.get(f"midcache_misses:{m}", 0) for m in machines)
+        lookups = hits + misses
+        return {
+            "hits": float(hits),
+            "misses": float(misses),
+            "lookups": float(lookups),
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "coalesced": float(sum(
+                self.counters.get(f"midcache_coalesced:{m}", 0) for m in machines
+            )),
+            "invalidations": float(sum(
+                self.counters.get(f"midcache_invalidations:{m}", 0) for m in machines
+            )),
+        }
+
+    def batch_summary(self, machines: List[str]) -> Dict[str, float]:
+        """Coalescer counters + occupancy summed across mid-tier replicas."""
+        batches = sum(self.counters.get(f"batches_sent:{m}", 0) for m in machines)
+        subs = sum(
+            self.counters.get(f"batched_subrequests:{m}", 0) for m in machines
+        )
+        occupancy = LatencyHistogram.merged([
+            self.histograms[f"batch_occupancy:{m}"]
+            for m in machines
+            if f"batch_occupancy:{m}" in self.histograms
+        ])
+        return {
+            "batches_sent": float(batches),
+            "subrequests_batched": float(subs),
+            "mean_occupancy": subs / batches if batches else 0.0,
+            "occupancy_p99": occupancy.percentile(99) if occupancy.count else 0.0,
+        }
+
+    def per_query_syscall_delta(
+        self, machines: List[str], completed: int, baseline: Dict[str, float],
+    ) -> Dict[str, float]:
+        """Per-query syscall rates minus a baseline run's rates.
+
+        ``baseline`` maps syscall name → invocations per query in the
+        reference (e.g. batching-off) run; negative deltas are the
+        amortization win the coalescer is supposed to buy.
+        """
+        denom = max(completed, 1)
+        merged = self.merged_syscalls(machines)
+        names = set(merged) | set(baseline)
+        return {
+            name: merged.get(name, 0) / denom - baseline.get(name, 0.0)
+            for name in sorted(names)
+        }
+
     def replica_breakdown(self, machines: List[str]) -> Dict[str, Dict[str, float]]:
         """Per-replica runqlat percentiles and syscall/context-switch totals
         — the scale-out analogue of the paper's per-machine eBPF tables."""

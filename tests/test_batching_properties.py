@@ -1,0 +1,86 @@
+"""Property-based tests for the leaf-request coalescer.
+
+The batcher must never lose, duplicate, or reorder sub-requests: across
+any interleaving of adds and timer drains, concatenating the emitted
+batches reproduces the exact input sequence per leaf.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.batching import BatchAccumulator, BatchConfig, BatchEnvelope, BatchReply
+
+# op: ("add", leaf) appends the next sequence number to that leaf's
+# buffer; ("drain", leaf) models the flush timer firing for that leaf.
+OPS = st.lists(
+    st.tuples(st.sampled_from(["add", "drain"]), st.integers(0, 3)),
+    max_size=200,
+)
+
+
+@given(ops=OPS, max_batch=st.integers(1, 9))
+@settings(max_examples=200, deadline=None)
+def test_batches_conserve_order_and_items(ops, max_batch):
+    buffers = [BatchAccumulator(max_batch) for _ in range(4)]
+    sent = [[] for _ in range(4)]      # items handed to add(), in order
+    emitted = [[] for _ in range(4)]   # flushed batches, concatenated
+    counter = 0
+    for op, leaf in ops:
+        if op == "add":
+            item = counter
+            counter += 1
+            sent[leaf].append(item)
+            batch = buffers[leaf].add(item)
+            if batch is not None:
+                # Size-triggered flushes are always exactly max_batch.
+                assert len(batch) == max_batch
+                emitted[leaf].extend(batch)
+        else:
+            batch = buffers[leaf].drain()
+            # Timer flushes carry whatever was pending — under max_batch,
+            # because a full buffer would already have flushed inline.
+            assert len(batch) < max_batch
+            emitted[leaf].extend(batch)
+    for leaf in range(4):
+        tail = buffers[leaf].drain()
+        assert len(tail) < max_batch
+        emitted[leaf].extend(tail)
+        # Lossless, duplicate-free, order-preserving per leaf.
+        assert emitted[leaf] == sent[leaf]
+        assert len(buffers[leaf]) == 0
+
+
+@given(items=st.lists(st.integers(), max_size=50), max_batch=st.integers(1, 9))
+@settings(max_examples=200, deadline=None)
+def test_occupancy_never_exceeds_max_batch(items, max_batch):
+    buf = BatchAccumulator(max_batch)
+    for item in items:
+        buf.add(item)
+        assert len(buf) < max_batch
+
+
+def test_accumulator_rejects_degenerate_size():
+    with pytest.raises(ValueError):
+        BatchAccumulator(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_batch=0),
+        dict(max_batch=-1),
+        dict(max_wait_us=0.0),
+        dict(max_wait_us=-5.0),
+    ],
+)
+def test_batch_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        BatchConfig(**kwargs)
+
+
+def test_envelope_and_reply_lengths():
+    env = BatchEnvelope(subrequests=[("a", 1), ("b", 2)])
+    assert len(env) == 2
+    reply = BatchReply(responses=["r1", "r2", "r3"])
+    assert len(reply) == 3

@@ -100,3 +100,77 @@ def test_scale_schema_rejects_malformed_artifact():
             },
             schema,
         )
+
+
+# -- usuite cache -----------------------------------------------------------
+
+def test_cli_cache_happy_path(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_cache.json"
+    exit_code = main([
+        "cache", "--scale", "unit", "--services", "hdsearch",
+        "--loads", "1000", "2500", "--duration-us", "150000",
+        "--no-axes", "--output", str(out_path),
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Batching x caching sweep" in out
+    assert "bit-identical" in out
+    assert "recorded" in out
+    # The artifact exists and conforms to the checked-in schema.
+    data = json.loads(out_path.read_text())
+    validate(data, load_schema("bench_cache.schema.json"))
+    assert data["reproducibility"]["bit_identical"] is True
+    # Off cell and batching+caching-on cell, per service swept.
+    assert len(data["cells"]) == 2
+    on = [c for c in data["cells"] if c["cache_capacity"] > 0]
+    assert on and all(
+        point["cache"]["hits"] > 0 for cell in on for point in cell["loads"]
+    )
+
+
+def test_cli_cache_unknown_policy_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cache", "--policy", "bogus"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice" in err
+    assert "bogus" in err
+    assert "lru" in err and "fifo" in err  # the valid choices are listed
+
+
+def test_cli_cache_bad_capacity_exits_2(capsys):
+    for bad in ("0", "-5", "abc"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "--capacity", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "invalid int value" in err
+
+
+def test_cli_cache_bad_batch_size_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cache", "--batch-sizes", "0"])
+    assert excinfo.value.code == 2
+    assert "positive integer" in capsys.readouterr().err
+
+
+def test_cache_schema_rejects_malformed_artifact():
+    schema = load_schema("bench_cache.schema.json")
+    with pytest.raises(SchemaError, match="missing required property"):
+        validate({"benchmark": "truncated"}, schema)
+    # Wrong-typed cells are rejected, not silently accepted.
+    with pytest.raises(SchemaError):
+        validate(
+            {
+                "benchmark": "cache", "scale": "unit", "seed": 0,
+                "cells": [{"service": "hdsearch", "batch_max": "eight",
+                           "cache_capacity": 0, "saturation_qps": 0.0,
+                           "loads": []}],
+                "reproducibility": {"service": "hdsearch", "qps": 1.0,
+                                    "bit_identical": True},
+                "acceptance": {"pass": True, "headline_win": True,
+                               "futex_strictly_lower_everywhere": True,
+                               "bit_reproducible": True},
+            },
+            schema,
+        )

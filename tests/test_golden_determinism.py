@@ -15,6 +15,7 @@ from dataclasses import asdict
 
 import pytest
 
+from repro.experiments.cache_sweep import measure_cache_point, sweep_scale
 from repro.experiments.characterize import characterize
 from repro.experiments.scale_sweep import measure_load_point
 from repro.loadgen.client import _ClientBase
@@ -100,3 +101,80 @@ def test_scaleout_policies_produce_different_goldens():
     # the latency metrics, must genuinely differ between policies.
     assert rr.per_replica_forwarded != p2c.per_replica_forwarded
     assert asdict(rr) != asdict(p2c)
+
+
+# -- leaf-request batching + query-result cache -----------------------------
+# Both features are off by default; the unbatched/uncached goldens above
+# already pin the off path bit-for-bit.  These cells pin the *on* paths:
+# the batch timers and cache probes are themselves deterministic, so for
+# a fixed seed each configuration has its own exact golden.
+
+def _cache_point(batch_max: int, cache_capacity: int):
+    scale = sweep_scale(batch_max, cache_capacity, scale="unit")
+    return measure_cache_point(
+        "hdsearch", scale, qps=1500.0, seed=0,
+        duration_us=150_000.0, warmup_us=100_000.0,
+    )
+
+
+def test_batch_cache_point_same_seed_bit_identical():
+    first = _cache_point(8, 1024)
+    second = _cache_point(8, 1024)
+    assert first.completed > 0
+    assert asdict(first) == asdict(second)
+
+
+def test_batch_on_golden_bit_identical():
+    p = _cache_point(8, 0)
+    assert p.sent == 208
+    assert p.completed == 207
+    assert p.p50_us == 987.4218493704539
+    assert p.p99_us == 1371.3004240561168
+    assert p.mean_us == 959.1757781700609
+    assert p.futex_per_query == 7.5893719806763285
+    assert p.batch == {
+        "batches_sent": 352.0,
+        "subrequests_batched": 416.0,
+        "mean_occupancy": 1.1818181818181819,
+        "occupancy_p99": 2.0,
+    }
+
+
+def test_cache_on_golden_bit_identical():
+    p = _cache_point(0, 1024)
+    assert p.sent == 208
+    assert p.completed == 208
+    assert p.p50_us == 682.0405059588666
+    assert p.p99_us == 1060.489482548393
+    assert p.mean_us == 591.7027280423334
+    assert p.futex_per_query == 6.668269230769231
+    assert p.cache == {
+        "hits": 62.0,
+        "misses": 146.0,
+        "lookups": 208.0,
+        "hit_rate": 0.2980769230769231,
+        "coalesced": 0.0,
+        "invalidations": 0.0,
+    }
+
+
+def test_batch_cache_on_golden_bit_identical():
+    p = _cache_point(8, 1024)
+    assert p.sent == 208
+    assert p.completed == 208
+    assert p.p50_us == 847.3254003793845
+    assert p.p99_us == 1345.7206733071594
+    assert p.futex_per_query == 6.216346153846154
+    assert p.cache["hits"] == 62.0
+    assert p.batch["batches_sent"] == 244.0
+    assert p.batch["subrequests_batched"] == 292.0
+
+
+def test_batching_diverges_from_off_path():
+    # Sanity that the on-path goldens are not vacuously equal to the off
+    # path: coalescing genuinely changes timing, so the metrics differ.
+    off = _cache_point(0, 0)
+    on = _cache_point(8, 0)
+    assert off.completed > 0 and on.completed > 0
+    assert asdict(off) != asdict(on)
+    assert on.futex_per_query < off.futex_per_query
