@@ -16,10 +16,11 @@ Run:  python examples/document_search.py
 
 import time
 
-from repro.loadgen.client import E2E_HIST
+from repro import E2E_HIST, SCALES, SimCluster, build_service, run_open_loop
+
+# Kernel internals, imported deep on purpose: this example demonstrates
+# the intersection algorithms themselves, which are not stable API.
 from repro.services.setalgebra import SkipList, intersect_linear, intersect_skip
-from repro.suite import SCALES, SimCluster, build_service
-from repro.suite.cluster import run_open_loop
 
 
 def main() -> None:

@@ -17,8 +17,10 @@ Run:  python examples/frontend_pipeline.py
 
 import numpy as np
 
+from repro import SCALES, SimCluster, build_service
+
+# The presentation tier is a demo-only extra, not stable API.
 from repro.services.frontend.hdsearch_frontend import build_frontend
-from repro.suite import SCALES, SimCluster, build_service
 
 
 def main() -> None:

@@ -17,12 +17,13 @@ Run:  python examples/image_search_accuracy.py
 
 import numpy as np
 
+from repro import E2E_HIST, SCALES, SimCluster, run_open_loop
+
+# LSH internals, imported deep on purpose: this example demonstrates the
+# index tuning machinery itself, which is not stable API.
 from repro.data import FeatureCorpus
-from repro.loadgen.client import E2E_HIST
 from repro.services.hdsearch import LshIndex, build_hdsearch
 from repro.services.hdsearch.lsh import _nn_accuracy
-from repro.suite import SCALES, SimCluster
-from repro.suite.cluster import run_open_loop
 
 
 def main() -> None:

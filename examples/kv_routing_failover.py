@@ -18,9 +18,7 @@ This example runs the failure drill end to end on the simulated cluster:
 Run:  python examples/kv_routing_failover.py
 """
 
-from repro.loadgen.client import E2E_HIST
-from repro.suite import SCALES, SimCluster, build_service
-from repro.suite.cluster import run_open_loop
+from repro import E2E_HIST, SCALES, SimCluster, build_service, run_open_loop
 
 
 def replica_hits(service) -> list:

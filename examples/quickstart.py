@@ -11,10 +11,14 @@ OS-overhead breakdown.
 Run:  python examples/quickstart.py
 """
 
-from repro.experiments.characterize import OVERHEAD_KINDS
-from repro.loadgen.client import E2E_HIST
-from repro.suite import SCALES, SimCluster, build_service
-from repro.suite.cluster import run_open_loop
+from repro import (
+    E2E_HIST,
+    OVERHEAD_KINDS,
+    SCALES,
+    SimCluster,
+    build_service,
+    run_open_loop,
+)
 
 
 def main() -> None:

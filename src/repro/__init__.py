@@ -1,24 +1,95 @@
 """uSuite reproduction: microservice benchmarks on a simulated OS.
 
 A from-scratch reproduction of *uSuite: A Benchmark Suite for
-Microservices* (Sriraman & Wenisch, IISWC 2018).  Start at
-:mod:`repro.suite` for the public API::
+Microservices* (Sriraman & Wenisch, IISWC 2018).  The stable package API
+is re-exported here (lazily, so ``import repro`` stays cheap)::
 
-    from repro.suite import SCALES, SimCluster, build_service
-    from repro.suite.cluster import run_open_loop
+    from repro import build_cluster, run_open_loop
 
-    cluster = SimCluster(seed=0)
-    service = build_service("hdsearch", cluster, SCALES["small"])
+    cluster, service = build_cluster("hdsearch", scale="small", seed=0)
     result = run_open_loop(cluster, service, qps=1_000.0, duration_us=1_000_000)
     print(result.e2e.summary())
 
-See README.md for the architecture map, DESIGN.md for the
+Three layers, top to bottom:
+
+* **experiments** — :func:`build_cluster` / :func:`run_experiment` and
+  the :class:`Experiment` spec (:mod:`repro.experiments.runner`), plus
+  :func:`characterize` for one fully instrumented cell;
+* **suite** — :class:`SimCluster`, :func:`build_service`, the typed
+  :class:`ServiceScale` config tree (:class:`TopologyConfig`,
+  :class:`LbConfig`, :class:`BatchConfig`, :class:`CacheConfig`,
+  :class:`TraceConfig`) and the :data:`SCALES` registry;
+* **telemetry** — the :class:`Tracer` span sampler and the critical-path
+  attribution engine (:func:`attribute`, :func:`tail_exemplars`,
+  :func:`crosscheck` in :mod:`repro.telemetry.critpath`).
+
+Anything not re-exported here is internal and may change between
+versions.  See README.md for the architecture map, DESIGN.md for the
 paper-to-substitute inventory, and EXPERIMENTS.md for paper-vs-measured
 results on every figure.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
+
+__version__ = "1.1.0"
 __paper__ = (
     "Akshitha Sriraman and Thomas F. Wenisch. "
     "uSuite: A Benchmark Suite for Microservices. IISWC 2018."
 )
+
+#: Public name -> defining module, resolved lazily (PEP 562) so that
+#: ``import repro`` does not drag in the whole experiment stack.
+_EXPORTS = {
+    # experiments: the shared runner API
+    "Experiment": "repro.experiments.runner",
+    "ExperimentOutcome": "repro.experiments.runner",
+    "UsageError": "repro.experiments.runner",
+    "build_cluster": "repro.experiments.runner",
+    "run_experiment": "repro.experiments.runner",
+    "write_artifact": "repro.experiments.runner",
+    "characterize": "repro.experiments.characterize",
+    "OVERHEAD_KINDS": "repro.experiments.characterize",
+    # suite: cluster building and the typed config tree
+    "SCALES": "repro.suite",
+    "SERVICE_NAMES": "repro.suite",
+    "ServiceHandle": "repro.suite",
+    "ServiceScale": "repro.suite",
+    "SimCluster": "repro.suite",
+    "TopologyConfig": "repro.suite",
+    "LbConfig": "repro.suite",
+    "BatchConfig": "repro.suite",
+    "CacheConfig": "repro.suite",
+    "TraceConfig": "repro.suite",
+    "RunResult": "repro.suite",
+    "build_service": "repro.suite",
+    "run_open_loop": "repro.suite.cluster",
+    "run_closed_loop": "repro.suite.cluster",
+    # loadgen: the end-to-end latency histogram name
+    "E2E_HIST": "repro.loadgen.client",
+    # telemetry: sampled traces and critical-path attribution
+    "Trace": "repro.telemetry.tracing",
+    "Tracer": "repro.telemetry.tracing",
+    "Attribution": "repro.telemetry.critpath",
+    "CATEGORIES": "repro.telemetry.critpath",
+    "attribute": "repro.telemetry.critpath",
+    "aggregate": "repro.telemetry.critpath",
+    "tail_exemplars": "repro.telemetry.critpath",
+    "crosscheck": "repro.telemetry.critpath",
+}
+
+__all__ = sorted(_EXPORTS) + ["__paper__", "__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

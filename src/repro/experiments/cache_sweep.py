@@ -17,17 +17,13 @@ checked-in ``schemas/bench_cache.schema.json``.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.schema import load_schema, validate
+from repro.experiments import runner
 from repro.experiments.tables import render_table
-from repro.loadgen import OpenLoopLoadGen
-from repro.loadgen.client import _ClientBase
 from repro.midcache import CACHE_POLICIES
-from repro.suite import SCALES, ServiceScale, SimCluster, build_service
+from repro.suite import BatchConfig, CacheConfig, ServiceScale
 from repro.suite.cluster import run_open_loop
 from repro.suite.registry import SERVICE_NAMES
 
@@ -79,19 +75,18 @@ def sweep_scale(
     cache_ttl_us: Optional[float] = None,
 ) -> ServiceScale:
     """The sweep's scale: ``batch_max`` / ``cache_capacity`` of 0 = off."""
-    if isinstance(scale, str):
-        scale = SCALES[scale]
+    scale = runner.resolve_scale(scale)
     overrides: Dict[str, object] = {}
     if batch_max > 0:
-        overrides.update(
-            batch_enable=True, batch_max=batch_max, batch_max_wait_us=batch_wait_us
+        overrides["batch"] = BatchConfig(
+            enabled=True, max_batch=batch_max, max_wait_us=batch_wait_us
         )
     if cache_capacity > 0:
-        overrides.update(
-            cache_enable=True,
-            cache_capacity=cache_capacity,
-            cache_policy=cache_policy,
-            cache_ttl_us=cache_ttl_us,
+        overrides["cache"] = CacheConfig(
+            enabled=True,
+            capacity=cache_capacity,
+            policy=cache_policy,
+            ttl_us=cache_ttl_us,
         )
     return scale.with_overrides(**overrides) if overrides else scale
 
@@ -164,13 +159,6 @@ class CacheSweepReport:
         return None
 
 
-def _pin_arrivals() -> None:
-    # Every cell re-creates the load generator; resetting the instance
-    # counter keeps its RNG stream name — and the Poisson arrival
-    # sequence — identical across cells, isolating the config effect.
-    _ClientBase._instances = 0
-
-
 def measure_saturation(
     service_name: str,
     scale: ServiceScale,
@@ -179,21 +167,11 @@ def measure_saturation(
     warmup_us: float = WARMUP_US,
 ) -> float:
     """Completion rate under ~2× open-loop overload (the Fig. 9 method)."""
-    _pin_arrivals()
-    cluster = SimCluster(seed=seed)
-    service = build_service(service_name, cluster, scale)
-    gen = OpenLoopLoadGen(
-        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
-        target=service.target_address, source=service.make_source(),
-        qps=SATURATION_OFFERED_QPS.get(service_name, 25_000.0),
+    return runner.measure_saturation(
+        service_name, scale,
+        offered_qps=SATURATION_OFFERED_QPS.get(service_name, 25_000.0),
+        seed=seed, duration_us=duration_us, warmup_us=warmup_us,
     )
-    gen.start()
-    cluster.run(until=warmup_us)
-    completed_before = gen.completed
-    cluster.run(until=warmup_us + duration_us)
-    qps = (gen.completed - completed_before) / (duration_us / 1e6)
-    cluster.shutdown()
-    return qps
 
 
 def measure_cache_point(
@@ -205,9 +183,7 @@ def measure_cache_point(
     warmup_us: float = WARMUP_US,
 ) -> CachePoint:
     """One open-loop cell with cache/batch telemetry roll-ups."""
-    _pin_arrivals()
-    cluster = SimCluster(seed=seed)
-    service = build_service(service_name, cluster, scale)
+    cluster, service = runner.build_cluster(service_name, scale, seed=seed)
     result = run_open_loop(
         cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
     )
@@ -225,9 +201,9 @@ def measure_cache_point(
         epoll_per_query=per_query.get("epoll_pwait", 0.0),
         sendmsg_per_query=per_query.get("sendmsg", 0.0),
     )
-    if getattr(scale, "cache_enable", False):
+    if scale.cache.enabled:
         point.cache = telemetry.cache_summary(names)
-    if getattr(scale, "batch_enable", False):
+    if scale.batch.enabled:
         point.batch = telemetry.batch_summary(names)
     cluster.shutdown()
     return point
@@ -457,16 +433,27 @@ def to_document(report: CacheSweepReport) -> dict:
 
 def record_bench(report: CacheSweepReport, path: str = BENCH_PATH) -> dict:
     """Validate the artifact against the checked-in schema and write it."""
-    document = to_document(report)
-    validate(document, load_schema("bench_cache.schema.json"))
-    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return document
+    return runner.write_artifact(
+        to_document(report), path, schema="bench_cache.schema.json"
+    )
+
+
+#: Runner spec: ``usuite cache`` is this experiment.
+EXPERIMENT = runner.Experiment(
+    name="cache",
+    run=run_cache_sweep,
+    format=format_cache_sweep,
+    acceptance=acceptance,
+    to_document=to_document,
+    schema="bench_cache.schema.json",
+    bench_path=BENCH_PATH,
+)
 
 
 __all__ = [
     "BATCH_SIZES", "CACHE_POLICIES", "CAPACITIES", "DEFAULT_BATCH_MAX",
-    "DEFAULT_CAPACITY", "DEFAULT_DURATION_US", "LOADS", "BENCH_PATH",
-    "CacheCell", "CachePoint", "CacheSweepReport", "acceptance",
+    "DEFAULT_CAPACITY", "DEFAULT_DURATION_US", "EXPERIMENT", "LOADS",
+    "BENCH_PATH", "CacheCell", "CachePoint", "CacheSweepReport", "acceptance",
     "format_cache_sweep", "measure_cache_point", "measure_saturation",
     "record_bench", "run_cache_sweep", "sweep_scale", "to_document",
 ]

@@ -130,12 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
     p.add_argument("--loads", nargs="+", type=float, default=None)
 
-    p = sub.add_parser("trace", help="sampled distributed traces of one service")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    p.add_argument("--qps", type=float, default=1_000.0)
-    p.add_argument("--sample-every", type=int, default=20)
-    p.add_argument("--show", type=int, default=3, help="slowest traces to render")
+    p = sub.add_parser(
+        "trace", help="per-request critical-path attribution sweep"
+    )
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    _add_services(p)
+    p.add_argument("--loads", nargs="+", type=float, default=None,
+                   help="offered loads in QPS (default: 100 1000 10000)")
+    p.add_argument("--queries", type=_positive_int, default=None,
+                   help="queries per cell (default: 2000; duration scales 1/qps)")
+    p.add_argument("--sample-every", type=_positive_int, default=1,
+                   help="trace every Nth request (1 = all; required for the "
+                   "telemetry cross-check gate)")
+    p.add_argument("--top-k", type=_positive_int, default=5,
+                   help="tail exemplars mined per cell")
+    p.add_argument("--show", type=int, default=3,
+                   help="slowest exemplars to print per cell")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_trace.json)")
 
     p = sub.add_parser("perf", help="engine throughput on the standard 10K QPS cell")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -387,29 +400,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"knee (p99 > 2x floor) at ~{knee_load(results):g} QPS")
 
     elif command == "trace":
-        from repro.experiments.characterize import default_duration_us
-        from repro.suite import SCALES, SimCluster, build_service
-        from repro.suite.cluster import run_open_loop
-        from repro.telemetry.tracing import Tracer
+        from dataclasses import replace as _replace
 
-        cluster = SimCluster(seed=args.seed)
-        service = build_service(args.service, cluster, SCALES[args.scale])
-        tracer = Tracer(sample_every=args.sample_every)
-        run_open_loop(
-            cluster, service, qps=args.qps,
-            duration_us=default_duration_us(args.qps, args.min_queries),
-            tracer=tracer,
+        from repro.experiments import trace_sweep
+        from repro.experiments.runner import run_experiment
+
+        experiment = _replace(
+            trace_sweep.EXPERIMENT,
+            format=lambda report: trace_sweep.format_trace_sweep(
+                report, show=args.show
+            ),
         )
-        cluster.shutdown()
-        print(f"{len(tracer.finished)} sampled traces ({args.service} @ {args.qps:g} QPS)")
-        print("\nmean per-span breakdown (us):")
-        for name, mean_us in sorted(tracer.breakdown_summary().items(),
-                                    key=lambda kv: -kv[1]):
-            print(f"  {name:<20} {mean_us:9.1f}")
-        slowest = sorted(tracer.finished, key=lambda t: -t.total_us)[: args.show]
-        for trace in slowest:
-            print()
-            print(trace.render())
+        print("Critical-path attribution sweep")
+        outcome = run_experiment(
+            experiment,
+            params=dict(
+                services=args.services,
+                loads=args.loads or trace_sweep.LOADS,
+                scale=args.scale,
+                seed=args.seed,
+                queries=args.queries or trace_sweep.QUERIES_PER_CELL,
+                sample_every=args.sample_every,
+                top_k=args.top_k,
+            ),
+            output=args.output,
+        )
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+        return outcome.exit_code
 
     elif command == "perf":
         from repro.experiments.perf_engine import (
@@ -455,50 +473,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"recorded {args.output} (acceptance: {verdict})")
 
     elif command == "scale":
-        from repro.experiments.scale_sweep import (
-            DEFAULT_DURATION_US, LOADS, POLICIES, REPLICA_COUNTS,
-            acceptance, format_scale_sweep, record_bench, run_scale_sweep,
-        )
+        from repro.experiments import scale_sweep
+        from repro.experiments.runner import run_experiment
         from repro.rpc.loadbalance import canonical_policy
 
         # Validate policies up front: a typo'd name should be a clear
         # one-line error, not a ValueError traceback mid-sweep.
-        policies = list(args.policies or POLICIES)
+        policies = list(args.policies or scale_sweep.POLICIES)
         try:
             policies = [canonical_policy(name) for name in policies]
         except ValueError as err:
             print(f"usuite scale: error: {err}", file=sys.stderr)
             return 2
 
-        report = run_scale_sweep(
-            service=args.service,
-            replica_counts=args.replicas or REPLICA_COUNTS,
-            policies=policies,
-            loads=args.loads or LOADS,
-            scale=args.scale,
-            seed=args.seed,
-            duration_us=args.duration_us or DEFAULT_DURATION_US,
-        )
         print(f"Scale-out sweep — {args.service}")
-        print(format_scale_sweep(report))
-        if args.output:
-            data = record_bench(report, path=args.output)
-            verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
-            print(f"recorded {args.output} (acceptance: {verdict})")
-        else:
-            checks = acceptance(report)
-            print(f"acceptance: {'pass' if checks['pass'] else 'FAIL'}")
+        outcome = run_experiment(
+            scale_sweep.EXPERIMENT,
+            params=dict(
+                service=args.service,
+                replica_counts=args.replicas or scale_sweep.REPLICA_COUNTS,
+                policies=policies,
+                loads=args.loads or scale_sweep.LOADS,
+                scale=args.scale,
+                seed=args.seed,
+                duration_us=args.duration_us or scale_sweep.DEFAULT_DURATION_US,
+            ),
+            output=args.output,
+        )
+        if outcome.exit_code == 2:
+            return 2
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
 
     elif command == "cache":
         from repro.experiments import cache_sweep
-        from repro.experiments.cache_sweep import (
-            acceptance, format_cache_sweep, record_bench, run_cache_sweep,
-        )
+        from repro.experiments.runner import run_experiment
 
-        kwargs = {}
-        if args.duration_us:
-            kwargs["duration_us"] = args.duration_us
-        report = run_cache_sweep(
+        params = dict(
             services=args.services,
             loads=args.loads or cache_sweep.LOADS,
             batch_sizes=args.batch_sizes or cache_sweep.BATCH_SIZES,
@@ -507,33 +518,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             axes=not args.no_axes,
             cache_policy=args.policy,
-            **kwargs,
         )
+        if args.duration_us:
+            params["duration_us"] = args.duration_us
         print("Batching x caching sweep")
-        print(format_cache_sweep(report))
-        if args.output:
-            data = record_bench(report, path=args.output)
-            verdict = "pass" if data["acceptance"]["pass"] else "FAIL"
-            print(f"recorded {args.output} (acceptance: {verdict})")
-        else:
-            checks = acceptance(report)
-            print(f"acceptance: {'pass' if checks['pass'] else 'FAIL'}")
+        outcome = run_experiment(
+            cache_sweep.EXPERIMENT, params=params, output=args.output
+        )
+        if outcome.exit_code == 2:
+            return 2
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
 
     elif command == "figure-smoke":
-        from repro.experiments.figure_smoke import (
-            format_figure_smoke, run_figure_smoke, write_report,
-        )
+        from repro.experiments import figure_smoke
+        from repro.experiments.runner import run_experiment
 
-        report = run_figure_smoke(
-            services=args.services, scale=args.scale, seed=args.seed,
-        )
         print("Figure smoke — paper-shape checks on miniature cells")
-        print(format_figure_smoke(report))
-        if args.output:
-            write_report(report, args.output)
-            print(f"wrote {args.output}")
-        if not report["passed"]:
-            return 1
+        outcome = run_experiment(
+            figure_smoke.EXPERIMENT,
+            params=dict(
+                services=args.services, scale=args.scale, seed=args.seed,
+            ),
+            output=args.output,
+        )
+        return outcome.exit_code
 
     elif command == "all":
         for sub_command in (

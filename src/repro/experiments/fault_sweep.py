@@ -22,15 +22,13 @@ one arrival process — the comparison isolates the fault/policy effect.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass
-from pathlib import Path
 from typing import Iterable, List, Optional
 
+from repro.experiments import runner
 from repro.experiments.characterize import CharacterizationResult, characterize
 from repro.experiments.tables import render_table
 from repro.faults import FaultPlan, LeafSlowdown
-from repro.loadgen.client import _ClientBase
 from repro.rpc.policy import DEFAULT_TAIL_POLICY, TailPolicy
 from repro.suite.registry import SERVICE_NAMES
 
@@ -81,7 +79,7 @@ def run_fault_cell(
     stream name — and therefore the Poisson arrival sequence — identical
     across cells, so faulted and healthy runs see the same offered load.
     """
-    _ClientBase._instances = 0
+    runner.pin_arrivals()
     return characterize(
         service,
         qps,
@@ -326,5 +324,4 @@ def record_bench(
             {**asdict(cell), "tail_amplification": round(cell.tail_amplification, 3)}
             for cell in sweep
         ]
-    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return data
+    return runner.write_artifact(data, path)

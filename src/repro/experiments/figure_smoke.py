@@ -19,16 +19,14 @@ any check fails.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass
-from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from repro.experiments import runner
 from repro.experiments.characterize import characterize
 from repro.experiments.fig09_saturation import saturation_throughput
 from repro.experiments.fig15_18_os_overheads import active_exe_dominates
 from repro.experiments.tables import render_table
-from repro.loadgen.client import _ClientBase
 
 #: Two services keep the job under a minute; the invariants are
 #: per-service, so any subset is a valid (weaker) gate.
@@ -66,12 +64,12 @@ def run_figure_smoke(
     checks: List[SmokeCheck] = []
     metrics: Dict[str, dict] = {}
     for service in services or SMOKE_SERVICES:
-        _ClientBase._instances = 0
+        runner.pin_arrivals()
         low = characterize(
             service, 100.0, scale=scale, seed=seed,
             duration_us=LOW_LOAD_DURATION_US, warmup_us=SMOKE_WARMUP_US,
         )
-        _ClientBase._instances = 0
+        runner.pin_arrivals()
         mid = characterize(
             service, 1_000.0, scale=scale, seed=seed,
             duration_us=SMOKE_DURATION_US, warmup_us=SMOKE_WARMUP_US,
@@ -153,4 +151,13 @@ def format_figure_smoke(report: dict) -> str:
 
 def write_report(report: dict, path: str) -> None:
     """Persist the smoke report as a JSON artifact."""
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    runner.write_artifact(report, path)
+
+
+#: Runner spec: ``usuite figure-smoke`` is this experiment.
+EXPERIMENT = runner.Experiment(
+    name="figure-smoke",
+    run=run_figure_smoke,
+    format=format_figure_smoke,
+    acceptance=lambda report: {"pass": report["passed"]},
+)

@@ -1,0 +1,235 @@
+"""Shared experiment-runner plumbing for the ``usuite`` sweeps.
+
+Every sweep in this package repeats the same chores: pin the
+load-generator naming so Poisson arrival streams replay bit-identically
+across cells, build a seeded cluster for one (service, scale, overrides)
+point, validate the JSON artifact against its checked-in schema before
+writing, print a report plus an acceptance verdict, and map bad
+parameters to exit code 2.  This module owns those chores;
+:mod:`~repro.experiments.cache_sweep`, :mod:`~repro.experiments.scale_sweep`,
+:mod:`~repro.experiments.fault_sweep`, :mod:`~repro.experiments.figure_smoke`,
+:mod:`~repro.experiments.trace_sweep`, and the CLI sit on top of it.
+
+The one public entry point most callers need is :func:`run_experiment`:
+give it an :class:`Experiment` spec (how to run, format, check, and
+record one sweep) and it returns an :class:`ExperimentOutcome` whose
+``exit_code`` follows the suite-wide convention — 0 on success, 1 when
+an acceptance gate fails, 2 on a usage error (:class:`UsageError`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.experiments.schema import load_schema, validate
+from repro.loadgen import OpenLoopLoadGen
+from repro.loadgen.client import _ClientBase
+from repro.suite import SCALES, ServiceScale, SimCluster, build_service
+from repro.suite.cluster import ServiceHandle
+
+
+class UsageError(ValueError):
+    """Bad experiment parameters (unknown scale, service, policy, ...).
+
+    The CLI reports the message on stderr and exits with code 2, the
+    same convention argparse uses for malformed flags.
+    """
+
+
+def pin_arrivals() -> None:
+    """Reset load-generator naming before building a sweep cell.
+
+    Every cell re-creates its load generator; resetting the instance
+    counter keeps the generator's RNG stream name — and therefore the
+    Poisson arrival sequence — identical across cells, isolating the
+    configuration under test from arrival noise.
+    """
+    _ClientBase._instances = 0
+
+
+def resolve_scale(scale: ServiceScale | str) -> ServiceScale:
+    """A :class:`ServiceScale` from a scale or its registry name.
+
+    Unknown names raise :class:`UsageError` so CLI paths exit with 2.
+    """
+    if isinstance(scale, ServiceScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise UsageError(
+            f"unknown scale {scale!r} (choose from: {', '.join(sorted(SCALES))})"
+        ) from None
+
+
+def build_cluster(
+    service: str,
+    scale: ServiceScale | str = "small",
+    seed: int = 0,
+    overrides: Optional[Mapping[str, object]] = None,
+    midtier_policy=None,
+    tail_policy=None,
+) -> Tuple[SimCluster, ServiceHandle]:
+    """An arrival-pinned, seeded cluster plus service for one sweep cell.
+
+    ``overrides`` are forwarded to :meth:`ServiceScale.with_overrides`
+    after ``scale`` resolves, so callers can say
+    ``overrides={"trace": TraceConfig(enabled=True)}`` without touching
+    the registry scale.  Unknown services raise :class:`UsageError`.
+    """
+    built = resolve_scale(scale)
+    if overrides:
+        built = built.with_overrides(**overrides)
+    pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    try:
+        handle = build_service(
+            service, cluster, built,
+            midtier_policy=midtier_policy, tail_policy=tail_policy,
+        )
+    except KeyError as err:
+        raise UsageError(str(err.args[0])) from None
+    return cluster, handle
+
+
+def measure_saturation(
+    service_name: str,
+    scale: ServiceScale,
+    offered_qps: float,
+    seed: int = 0,
+    duration_us: float = 300_000.0,
+    warmup_us: float = 200_000.0,
+) -> float:
+    """Completion rate under open-loop overload (the Fig. 9 method).
+
+    ``offered_qps`` should be ~2× the expected ceiling so the measured
+    completion rate is the saturation throughput, not the offered load.
+    """
+    cluster, service = build_cluster(service_name, scale, seed=seed)
+    gen = OpenLoopLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=service.target_address, source=service.make_source(),
+        qps=offered_qps,
+    )
+    gen.start()
+    cluster.run(until=warmup_us)
+    completed_before = gen.completed
+    cluster.run(until=warmup_us + duration_us)
+    qps = (gen.completed - completed_before) / (duration_us / 1e6)
+    cluster.shutdown()
+    return qps
+
+
+def write_artifact(
+    document: dict, path: str, schema: Optional[str] = None
+) -> dict:
+    """Write a benchmark artifact in the suite's canonical JSON form.
+
+    When ``schema`` names a file under ``schemas/`` the document is
+    validated first, so an artifact that would fail CI never reaches
+    disk.  Returns the document for chaining.
+    """
+    if schema is not None:
+        validate(document, load_schema(schema))
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable sweep: how to run, print, check, and record it.
+
+    ``run`` produces the report object; the optional callables adapt it:
+    ``format`` to a human-readable string, ``acceptance`` to a checks
+    dict with a boolean ``"pass"`` key, ``to_document`` to the JSON
+    artifact (defaulting to the report itself when it is already a
+    dict).  ``schema`` names the JSON schema the artifact must satisfy;
+    ``bench_path`` is the default artifact location.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    format: Optional[Callable[[Any], str]] = None
+    acceptance: Optional[Callable[[Any], Dict[str, object]]] = None
+    to_document: Optional[Callable[[Any], dict]] = None
+    schema: Optional[str] = None
+    bench_path: Optional[str] = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """What :func:`run_experiment` produced, plus the CLI exit code."""
+
+    report: Any
+    document: Optional[dict]
+    checks: Optional[Dict[str, object]]
+    exit_code: int
+
+
+def run_experiment(
+    experiment: Experiment,
+    params: Optional[Mapping[str, Any]] = None,
+    output: Optional[str] = None,
+    stream=None,
+) -> ExperimentOutcome:
+    """Drive one :class:`Experiment` end to end.
+
+    Runs it with ``params``, prints the formatted report to ``stream``
+    (stdout by default), evaluates acceptance, and — when ``output`` is
+    set — records the schema-validated artifact there with a verdict
+    line.  :class:`UsageError` from the run maps to exit code 2; a
+    failed acceptance gate to 1.
+    """
+    stream = sys.stdout if stream is None else stream
+    try:
+        report = experiment.run(**dict(params or {}))
+    except UsageError as err:
+        print(f"usuite {experiment.name}: error: {err}", file=sys.stderr)
+        return ExperimentOutcome(None, None, None, 2)
+    if experiment.format is not None:
+        print(experiment.format(report), file=stream)
+    checks = (
+        experiment.acceptance(report)
+        if experiment.acceptance is not None
+        else None
+    )
+    document = None
+    if output:
+        if experiment.to_document is not None:
+            document = experiment.to_document(report)
+        elif isinstance(report, dict):
+            document = report
+        else:
+            raise TypeError(
+                f"experiment {experiment.name!r} has no to_document and its "
+                f"report is not a dict"
+            )
+        write_artifact(document, output, schema=experiment.schema)
+        verdict = ""
+        if checks is not None:
+            verdict = (
+                " (acceptance: pass)" if checks.get("pass") else
+                " (acceptance: FAIL)"
+            )
+        print(f"\nrecorded {output}{verdict}", file=stream)
+    exit_code = 0
+    if checks is not None and not checks.get("pass", True):
+        exit_code = 1
+    return ExperimentOutcome(report, document, checks, exit_code)
+
+
+__all__ = [
+    "Experiment",
+    "ExperimentOutcome",
+    "UsageError",
+    "build_cluster",
+    "measure_saturation",
+    "pin_arrivals",
+    "resolve_scale",
+    "run_experiment",
+    "write_artifact",
+]

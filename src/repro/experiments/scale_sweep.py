@@ -23,17 +23,13 @@ checked-in ``schemas/bench_scale.schema.json``.
 
 from __future__ import annotations
 
-import json
-from dataclasses import asdict, dataclass, field
-from pathlib import Path
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.schema import load_schema, validate
+from repro.experiments import runner
 from repro.experiments.tables import render_table
-from repro.loadgen import OpenLoopLoadGen
-from repro.loadgen.client import _ClientBase
 from repro.rpc.loadbalance import canonical_policy, replica_imbalance
-from repro.suite import SCALES, ServiceScale, SimCluster, build_service
+from repro.suite import ServiceScale
 from repro.suite.cluster import run_open_loop
 
 SWEEP_SERVICE = "hdsearch"
@@ -70,13 +66,15 @@ def sweep_scale(
     service: str = SWEEP_SERVICE,
 ) -> ServiceScale:
     """The sweep's scale: ``scale`` with the mid-tier made the bottleneck."""
-    if isinstance(scale, str):
-        scale = SCALES[scale]
+    scale = runner.resolve_scale(scale)
     leaf_us = {**scale.target_leaf_service_us, service: SWEEP_LEAF_US}
     return scale.with_overrides(
-        midtier_replicas=replicas,
-        lb_policy=policy,
-        midtier_cores=SWEEP_MIDTIER_CORES,
+        topology=replace(
+            scale.topology,
+            midtier_replicas=replicas,
+            midtier_cores=SWEEP_MIDTIER_CORES,
+        ),
+        lb=replace(scale.lb, policy=policy),
         target_leaf_service_us=leaf_us,
     )
 
@@ -145,13 +143,6 @@ class ScaleSweepReport:
         return None
 
 
-def _pin_arrivals() -> None:
-    # Every cell re-creates the load generator; resetting the instance
-    # counter keeps its RNG stream name — and the Poisson arrival
-    # sequence — identical across cells, isolating the topology effect.
-    _ClientBase._instances = 0
-
-
 def measure_saturation(
     service_name: str,
     scale: ServiceScale,
@@ -161,21 +152,10 @@ def measure_saturation(
     warmup_us: float = WARMUP_US,
 ) -> float:
     """Completion rate under 2× open-loop overload (the Fig. 9 method)."""
-    _pin_arrivals()
-    cluster = SimCluster(seed=seed)
-    service = build_service(service_name, cluster, scale)
-    gen = OpenLoopLoadGen(
-        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
-        target=service.target_address, source=service.make_source(),
-        qps=offered_qps,
+    return runner.measure_saturation(
+        service_name, scale, offered_qps=offered_qps,
+        seed=seed, duration_us=duration_us, warmup_us=warmup_us,
     )
-    gen.start()
-    cluster.run(until=warmup_us)
-    completed_before = gen.completed
-    cluster.run(until=warmup_us + duration_us)
-    qps = (gen.completed - completed_before) / (duration_us / 1e6)
-    cluster.shutdown()
-    return qps
 
 
 def measure_load_point(
@@ -187,9 +167,7 @@ def measure_load_point(
     warmup_us: float = WARMUP_US,
 ) -> LoadPoint:
     """One open-loop cell with per-replica balancing telemetry."""
-    _pin_arrivals()
-    cluster = SimCluster(seed=seed)
-    service = build_service(service_name, cluster, scale)
+    cluster, service = runner.build_cluster(service_name, scale, seed=seed)
     result = run_open_loop(
         cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
     )
@@ -378,7 +356,18 @@ def to_document(report: ScaleSweepReport) -> dict:
 
 def record_bench(report: ScaleSweepReport, path: str = BENCH_PATH) -> dict:
     """Validate the artifact against the checked-in schema and write it."""
-    document = to_document(report)
-    validate(document, load_schema("bench_scale.schema.json"))
-    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return document
+    return runner.write_artifact(
+        to_document(report), path, schema="bench_scale.schema.json"
+    )
+
+
+#: Runner spec: ``usuite scale`` is this experiment.
+EXPERIMENT = runner.Experiment(
+    name="scale",
+    run=run_scale_sweep,
+    format=format_scale_sweep,
+    acceptance=acceptance,
+    to_document=to_document,
+    schema="bench_scale.schema.json",
+    bench_path=BENCH_PATH,
+)

@@ -56,12 +56,15 @@ class Futex:
     what Intel's hit-Modified PEBS counting observes on lock words).
     """
 
-    __slots__ = ("value", "waiters", "cacheline")
+    __slots__ = ("value", "waiters", "cacheline", "wake_riders")
 
     def __init__(self, value: int = 0):
         self.value = value
         self.waiters: List["SimThread"] = []
         self.cacheline = Cacheline()
+        # Traces whose work the next wake on this futex hands off (set by
+        # e.g. TaskQueue.put before signalling; cleared by the wake body).
+        self.wake_riders = None
 
 
 class Mutex:

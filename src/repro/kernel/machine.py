@@ -18,6 +18,7 @@ from repro.net.fabric import Fabric, Packet
 from repro.sim.core import Simulation
 from repro.sim.rng import RngStreams, lognormal_from_median_sigma
 from repro.telemetry import Telemetry
+from repro.telemetry.critpath import riders
 
 #: Period of the background RCU bookkeeping tick, in microseconds.
 RCU_TICK_US = 4000.0
@@ -127,6 +128,16 @@ class Machine:
         )
         self.telemetry.record_irq(self.name, "hardirq", hardirq)
         self.telemetry.record_irq(self.name, "net_rx", softirq)
+        carried = riders(packet.payload)
+        if carried:
+            now = self.sim.now
+            for trace, rid in carried:
+                trace.add_segment("hardirq", self.name, now, now + hardirq, rid)
+                trace.add_segment(
+                    "net_rx", self.name, now + hardirq, now + hardirq + softirq, rid
+                )
+            self.telemetry.record_attributed(self.name, "hardirq", hardirq)
+            self.telemetry.record_attributed(self.name, "net_rx", softirq)
         # Interrupt handling steals cycles from whatever runs on that core.
         self.scheduler.steal_cpu(irq_core, hardirq + softirq)
         self.sim.defer_in(hardirq + softirq, self._socket_deliver, packet)
@@ -145,7 +156,23 @@ class Machine:
             remote = self.spec.socket_of(previous) != self.spec.socket_of(irq_core)
             self.telemetry.count_hitm(self.name, remote=remote)
         sock.cacheline.last_core = irq_core
-        sock.deliver(packet.payload)
+        carried = riders(packet.payload)
+        if carried:
+            now = self.sim.now
+            wire_time = getattr(packet.payload, "wire_time", None)
+            for trace, rid in carried:
+                start = wire_time if wire_time is not None else trace.started_us
+                trace.add_segment("net", self.name, start, now, rid)
+            # Threads woken synchronously by this delivery (epoll wake-all)
+            # owe their upcoming runqueue wait to these traced requests.
+            scheduler = self.scheduler
+            scheduler._pending_wake_riders = carried
+            try:
+                sock.deliver(packet.payload)
+            finally:
+                scheduler._pending_wake_riders = None
+        else:
+            sock.deliver(packet.payload)
 
     def _rcu_tick(self) -> None:
         if self._shutdown:

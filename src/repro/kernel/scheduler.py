@@ -51,6 +51,7 @@ from repro.kernel.ops import (
 from repro.kernel.threads import SimThread, ThreadState
 from repro.sim.core import Simulation
 from repro.sim.rng import lognormal_from_median_sigma
+from repro.telemetry.critpath import riders
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.machine import Machine
@@ -256,6 +257,11 @@ class Scheduler:
         # Hot-path caches: the telemetry hub and machine name never change.
         self._telemetry = machine.telemetry
         self._mname = machine.name
+        # Traces responsible for wakes happening right now (set around the
+        # synchronous wake chain of a traced socket delivery / futex wake),
+        # transferred onto each woken thread so its runqueue wait can be
+        # attributed to those requests when it finally runs.
+        self._pending_wake_riders = None
         self._handlers = {
             Compute: self._op_compute,
             AtomicAccess: self._op_atomic,
@@ -305,6 +311,9 @@ class Scheduler:
         thread.state = ThreadState.RUNNABLE
         thread.runnable_since = self.sim._now
         thread.block_reason = None
+        # Overwrite (never merge): a wake with no traced cause must clear
+        # riders left by an earlier, already-attributed wake.
+        thread.wake_riders = self._pending_wake_riders
         core = self.policy.choose_core(thread, self.cores, self.rng)
         # CFS enqueue normalization: don't let long sleepers starve others,
         # don't let them win everything either.
@@ -360,7 +369,17 @@ class Scheduler:
         thread.state = ThreadState.RUNNING
         thread.last_core = core.index
         now = self.sim._now
-        self._telemetry.record_runqlat(self._mname, now - thread.runnable_since)
+        wait = now - thread.runnable_since
+        self._telemetry.record_runqlat(self._mname, wait)
+        carried = thread.wake_riders
+        if carried is not None:
+            thread.wake_riders = None
+            if wait > 0.0:
+                for trace, rid in carried:
+                    trace.add_segment(
+                        "active_exe", self._mname, thread.runnable_since, now, rid
+                    )
+                self._telemetry.record_attributed(self._mname, "active_exe", wait)
         core.slice_end = now + self.costs.timeslice_us
         if thread.pending_compute > 0.0:
             remaining = thread.pending_compute
@@ -570,11 +589,20 @@ class Scheduler:
     def _futex_wake_body(self, core: Core, thread: SimThread, op: FutexWake) -> None:
         waiters = op.futex.waiters
         n = min(op.n, len(waiters)) if op.n != WAKE_ALL else len(waiters)
+        # The enqueuer (e.g. TaskQueue.put) may have parked the traces
+        # whose work this wake hands off; credit the waiter's runqueue
+        # wait to them.
+        carried = op.futex.wake_riders
+        previous = self._pending_wake_riders
+        if carried is not None:
+            op.futex.wake_riders = None
+            self._pending_wake_riders = carried
         woken = 0
         for _ in range(n):
             waiter = waiters.pop(0)
             self.make_runnable(waiter)
             woken += 1
+        self._pending_wake_riders = previous
         if woken:
             self._telemetry.count_contended_wake(self._mname)
         thread.send_value = woken
@@ -623,6 +651,12 @@ class Scheduler:
         tx_latency = self._softirq_sample(
             "net_tx", self.costs.softirq_net_tx_median_us, self.costs.softirq_net_tx_sigma
         )
+        carried = riders(op.payload)
+        if carried:
+            now = self.sim._now
+            for trace, rid in carried:
+                trace.add_segment("net_tx", self._mname, now, now + tx_latency, rid)
+            self._telemetry.record_attributed(self._mname, "net_tx", tx_latency)
         self.machine.transmit(op.sock, op.dst, op.payload, op.size_bytes, tx_latency)
         thread.send_value = None
         self._advance(core, thread)

@@ -56,6 +56,9 @@ class SimThread:
         # Evaluated at resume to produce a fresh send value (e.g. the epoll
         # ready list as of when the thread actually runs, not when woken).
         self.resume_hook = None
+        # Traces whose message/handoff caused the most recent wake; consumed
+        # when the thread begins running to attribute its runqueue wait.
+        self.wake_riders = None
 
     @property
     def alive(self) -> bool:

@@ -80,7 +80,12 @@ class _ClientBase:
             self.telemetry.record(E2E_HIST, self.sim.now - response.client_start)
         self.telemetry.incr("completed_queries")
         if self.tracer is not None and response.trace is not None:
-            self.tracer.finish(response.trace, self.sim.now)
+            trace = response.trace
+            # Final hop: the reply's wire time back to this (ideal) client
+            # endpoint, which has no NIC pipeline to stamp it otherwise.
+            start = trace.started_us if response.wire_time is None else response.wire_time
+            trace.add_segment("net", self.name, start, self.sim.now, response.request_id)
+            self.tracer.finish(trace, self.sim.now)
         self._on_response(response)
 
     def _on_response(self, response: RpcResponse) -> None:

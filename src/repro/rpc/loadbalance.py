@@ -253,6 +253,13 @@ class LoadBalancer:
             self.telemetry.record(
                 f"lb_backlog_wait:{self.name}", self.sim.now - queued_at
             )
+            if request.trace is not None:
+                # Proxy-side queueing is task-queue dwell on the critical
+                # path, attributed to the balancer as its own hop.
+                request.trace.add_segment(
+                    "queue_dwell", self.name, queued_at, self.sim.now,
+                    request.request_id,
+                )
             self._dispatch(request, self._free_replicas())
 
     # -- reporting ---------------------------------------------------------

@@ -35,6 +35,14 @@ class TaskQueue:
         """Generator: enqueue and signal one parked worker."""
         yield from self.mutex.acquire()
         self.items.append(item)
+        # Park the enqueued request's trace on the condvar futex so the
+        # woken worker's runqueue wait is attributed to this request.
+        request = item[0] if isinstance(item, tuple) else item
+        trace = getattr(request, "trace", None)
+        if trace is not None:
+            self.condvar.futex.wake_riders = (
+                (trace, getattr(request, "request_id", None)),
+            )
         yield from self.condvar.signal()
         yield from self.mutex.release()
         # Completion-queue kick (gRPC writes an eventfd to wake pollers).

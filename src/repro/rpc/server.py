@@ -211,7 +211,11 @@ class LeafRuntime(_RuntimeBase):
             request.trace.record(
                 f"leaf:{self.machine.name}", self.machine.name,
                 serve_start, self.machine.sim.now,
+                request_id=request.request_id,
             )
+            # Ride the trace back so the mid-tier's response-path kernel
+            # events (softirq, wakeup runqueue wait) attribute to it.
+            response.trace = request.trace
         yield SockSend(self.server_sock, request.reply_to, response, result.size_bytes)
 
     def _serve_batch(self, envelope: RpcRequest):
@@ -247,6 +251,7 @@ class LeafRuntime(_RuntimeBase):
                 parent_id=sub.parent_id,
                 client_start=sub.client_start,
             )
+            reply.trace = sub.trace
             replies.append(reply)
         if not replies:
             return  # every sub-request was shed past its deadline
@@ -256,6 +261,7 @@ class LeafRuntime(_RuntimeBase):
                 sub.trace.record(
                     f"leaf:{self.machine.name}", self.machine.name,
                     serve_start, self.machine.sim.now,
+                    request_id=sub.request_id,
                 )
         size = BATCH_HEADER_BYTES + sum(r.size_bytes for r in replies)
         batch_reply = RpcResponse(
@@ -609,6 +615,9 @@ class MidTierRuntime(_RuntimeBase):
                 self.machine.telemetry.incr(f"late_responses:{self.machine.name}")
         elif self.tail_policy is None:
             entry.responses.append(response)
+            trace = entry.request.trace
+            if trace is not None:
+                trace.note_winner(response.request_id)
             is_last = len(entry.responses) >= entry.expected
             if is_last:
                 entry.finished = True
@@ -623,6 +632,11 @@ class MidTierRuntime(_RuntimeBase):
             else:
                 entry.responded_slots.add(slot)
                 entry.responses.append(response)
+                trace = entry.request.trace
+                if trace is not None:
+                    # This copy's response got merged: its path is the
+                    # critical one; the losing duplicate's events drop.
+                    trace.note_winner(response.request_id)
                 entry.cancel_slot_timers(slot)
                 if response.request_id in entry.dup_ids:
                     self.hedge_wins += 1

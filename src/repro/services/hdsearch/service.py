@@ -148,9 +148,10 @@ def build_hdsearch(
     # still clears the 93% accuracy bar.  The tuner targets a slightly
     # higher bar on its sample so unseen queries still clear 93%.
     tuning_sample = queries[: min(60, len(queries))]
+    topo = scale.topology
     index = tune_lsh(
         corpus.vectors,
-        n_leaves=scale.n_leaves,
+        n_leaves=topo.n_leaves,
         queries=tuning_sample,
         target_accuracy=0.96,
         seed=seed + 1,
@@ -170,15 +171,15 @@ def build_hdsearch(
     )
     merge_cost = LinearCost.calibrated(
         scale.target_midtier_service_us["hdsearch"] * 0.25,
-        [scale.hds_k * scale.n_leaves],
+        [scale.hds_k * topo.n_leaves],
     )
 
     leaves: List[LeafRuntime] = []
-    for i in range(scale.n_leaves):
+    for i in range(topo.n_leaves):
         machine = cluster.machine(
-            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+            f"{name_prefix}-leaf{i}", cores=topo.leaf_cores, role="leaf", leaf_index=i
         )
-        app = HdSearchLeafApp(corpus.vectors, i, scale.n_leaves, leaf_cost)
+        app = HdSearchLeafApp(corpus.vectors, i, topo.n_leaves, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
 
     mid_app = HdSearchMidTierApp(index, scale.hds_k, request_cost, merge_cost)
@@ -186,7 +187,7 @@ def build_hdsearch(
         cluster,
         scale,
         name_prefix=name_prefix,
-        cores=scale.midtier_cores,
+        cores=topo.midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,

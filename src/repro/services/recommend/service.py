@@ -104,7 +104,7 @@ def build_recommend(
     # Observed cells keep their true ratings in the completed matrix.
     completed[data.mask] = data.utility[data.mask]
 
-    n_leaves = scale.n_leaves
+    n_leaves = scale.topology.n_leaves
     predictors: List[AllKnnPredictor] = []
     for leaf in range(n_leaves):
         rows = np.arange(leaf, data.n_users, n_leaves)
@@ -126,7 +126,8 @@ def build_recommend(
     leaves: List[LeafRuntime] = []
     for i, predictor in enumerate(predictors):
         machine = cluster.machine(
-            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+            f"{name_prefix}-leaf{i}", cores=scale.topology.leaf_cores,
+            role="leaf", leaf_index=i
         )
         app = RecommendLeafApp(predictor, w, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
@@ -136,7 +137,7 @@ def build_recommend(
         cluster,
         scale,
         name_prefix=name_prefix,
-        cores=scale.midtier_cores,
+        cores=scale.topology.midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,

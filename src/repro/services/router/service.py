@@ -161,8 +161,8 @@ def build_router(
     """Wire a complete Router deployment onto ``cluster``."""
     seed = cluster.rng.py(f"{name_prefix}:dataset").randrange(2**31)
     trace = KeyValueTrace(n_keys=scale.router_keys, seed=seed)
-    n_shards = scale.router_shards
-    n_replicas = scale.router_replicas
+    n_shards = scale.topology.router_shards
+    n_replicas = scale.topology.router_replicas
 
     ops = trace.ops(scale.n_queries)
     sample_units = [
@@ -187,7 +187,8 @@ def build_router(
     for shard in range(n_shards):
         for replica in range(n_replicas):
             machine = cluster.machine(
-                f"{name_prefix}-leaf{shard}r{replica}", cores=scale.router_leaf_cores,
+                f"{name_prefix}-leaf{shard}r{replica}",
+                cores=scale.topology.router_leaf_cores,
                 role="leaf", leaf_index=shard * n_replicas + replica,
             )
             store = MemcachedStore(clock=lambda: cluster.sim.now)
@@ -214,7 +215,7 @@ def build_router(
         cluster,
         scale,
         name_prefix=name_prefix,
-        cores=scale.router_midtier_cores,
+        cores=scale.topology.router_midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.router_midtier_runtime,

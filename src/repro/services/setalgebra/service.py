@@ -97,7 +97,7 @@ def build_setalgebra(
     queries = corpus.make_queries(scale.n_queries, seed=seed + 1)
 
     # Shard documents uniformly across leaves (paper: "sharded uniformly").
-    n_leaves = scale.n_leaves
+    n_leaves = scale.topology.n_leaves
     indexes: List[InvertedIndex] = []
     for leaf in range(n_leaves):
         doc_ids = list(range(leaf, corpus.n_documents, n_leaves))
@@ -128,7 +128,8 @@ def build_setalgebra(
     leaves: List[LeafRuntime] = []
     for i, index in enumerate(indexes):
         machine = cluster.machine(
-            f"{name_prefix}-leaf{i}", cores=scale.leaf_cores, role="leaf", leaf_index=i
+            f"{name_prefix}-leaf{i}", cores=scale.topology.leaf_cores,
+            role="leaf", leaf_index=i
         )
         app = SetAlgebraLeafApp(index, leaf_cost)
         leaves.append(LeafRuntime(machine, port=50, app=app, config=scale.leaf_runtime))
@@ -138,7 +139,7 @@ def build_setalgebra(
         cluster,
         scale,
         name_prefix=name_prefix,
-        cores=scale.midtier_cores,
+        cores=scale.topology.midtier_cores,
         app=mid_app,
         leaf_addrs=[leaf.address for leaf in leaves],
         config=scale.midtier_runtime,

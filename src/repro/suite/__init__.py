@@ -16,16 +16,29 @@ from repro.suite.cluster import (
     SimCluster,
     build_midtier_replicas,
 )
-from repro.suite.config import SCALES, ServiceScale
+from repro.suite.config import (
+    SCALES,
+    BatchConfig,
+    CacheConfig,
+    LbConfig,
+    ServiceScale,
+    TopologyConfig,
+    TraceConfig,
+)
 from repro.suite.registry import SERVICE_NAMES, build_service
 
 __all__ = [
+    "BatchConfig",
+    "CacheConfig",
+    "LbConfig",
     "RunResult",
     "SCALES",
     "SERVICE_NAMES",
     "ServiceHandle",
     "ServiceScale",
     "SimCluster",
+    "TopologyConfig",
+    "TraceConfig",
     "build_midtier_replicas",
     "build_service",
 ]

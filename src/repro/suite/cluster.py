@@ -104,7 +104,7 @@ def build_midtier_replicas(
     tail_policy=None,
     port: int = 40,
 ):
-    """Provision ``scale.midtier_replicas`` mid-tier runtimes, all fanning
+    """Provision ``scale.topology.midtier_replicas`` mid-tier runtimes, all fanning
     out to the same leaf shards, plus the front-end balancer when N > 1.
 
     Every service builder routes its mid-tier construction through here.
@@ -114,21 +114,21 @@ def build_midtier_replicas(
     to the paper's.  Returns ``(runtimes, machines, frontend)`` where
     ``frontend`` is None for the single-replica case.
     """
-    n_replicas = getattr(scale, "midtier_replicas", 1)
+    n_replicas = scale.topology.midtier_replicas
     # Batching / caching knobs (repro.rpc.batching, repro.midcache).  Both
     # default off: the configs below stay None, the runtimes construct
     # nothing extra, and pre-existing goldens are bit-identical.
     batch_config = None
-    if getattr(scale, "batch_enable", False):
+    if scale.batch.enabled:
         batch_config = BatchConfig(
-            max_batch=scale.batch_max, max_wait_us=scale.batch_max_wait_us
+            max_batch=scale.batch.max_batch, max_wait_us=scale.batch.max_wait_us
         )
     cache_config = None
-    if getattr(scale, "cache_enable", False):
+    if scale.cache.enabled:
         cache_config = CacheConfig(
-            capacity=scale.cache_capacity,
-            ttl_us=scale.cache_ttl_us,
-            policy=scale.cache_policy,
+            capacity=scale.cache.capacity,
+            ttl_us=scale.cache.ttl_us,
+            policy=scale.cache.policy,
         )
 
     def _make_cache():
@@ -166,8 +166,8 @@ def build_midtier_replicas(
         cluster.rng,
         name=f"{name_prefix}-lb",
         replicas=[runtime.address for runtime in runtimes],
-        policy=getattr(scale, "lb_policy", "round-robin"),
-        pool_size=getattr(scale, "lb_pool_size", 128),
+        policy=scale.lb.policy,
+        pool_size=scale.lb.pool_size,
     )
     return runtimes, machines, frontend
 

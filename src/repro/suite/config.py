@@ -14,23 +14,30 @@ Service builders *self-calibrate*: they sample the real algorithm's work
 units over the query set and set the per-unit cost so the mean matches the
 target, letting the latency distribution's shape come from genuine
 algorithmic variation.
+
+Knobs are grouped into typed sub-configs — :class:`TopologyConfig`,
+:class:`LbConfig`, :class:`BatchConfig`, :class:`CacheConfig`,
+:class:`TraceConfig` — instead of one flat namespace.  The old flat
+keywords (``n_leaves=2``, ``batch_enable=True``, …) still work everywhere
+a :class:`ServiceScale` is constructed or copied, but emit
+``DeprecationWarning``; in-tree code uses only the nested form (enforced
+by the CI deprecation gate).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+import warnings
+from dataclasses import MISSING, asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
 
 from repro.rpc.server import RuntimeConfig
 
 
 @dataclass(frozen=True)
-class ServiceScale:
-    """Everything size-dependent about one experiment configuration."""
+class TopologyConfig:
+    """Machine counts and core counts for one service deployment."""
 
-    name: str
-
-    # Topology (HDSearch / Set Algebra / Recommend; Router overrides below).
+    # HDSearch / Set Algebra / Recommend tiers (Router overrides below).
     n_leaves: int = 4
     leaf_cores: int = 4
     midtier_cores: int = 8
@@ -40,32 +47,131 @@ class ServiceScale:
     # topology exactly — no balancer is built and no extra randomness is
     # drawn, so goldens are unaffected.
     midtier_replicas: int = 1
-    # Balancing policy: round-robin | random | least-outstanding |
-    # power-of-two (see repro.rpc.loadbalance.POLICY_NAMES).
-    lb_policy: str = "round-robin"
-    # Per-replica connection pool: max requests in flight per replica
-    # before the balancer queues in its FIFO backlog.
-    lb_pool_size: int = 128
-    # Leaf-request batching (repro.rpc.batching): off by default — nothing
-    # is constructed and every pre-batching golden stays bit-identical.
-    batch_enable: bool = False
-    batch_max: int = 8
-    batch_max_wait_us: float = 50.0
-    # Mid-tier query-result cache (repro.midcache): off by default, same
-    # bit-identity guarantee.  One cache per mid-tier replica.
-    cache_enable: bool = False
-    cache_capacity: int = 1024
-    cache_ttl_us: Optional[float] = None  # None = entries never expire
-    cache_policy: str = "lru"
     # Router's replicated pools: shards × replicas leaves (paper: 16 × 3).
     router_shards: int = 4
     router_replicas: int = 3
     router_leaf_cores: int = 1
     # Router's routing work (parse + SpookyHash + rewrite) runs under its
-    # completion-queue lock (parse_in_network_thread below), so the lock —
-    # not memcached leaf CPU — bounds its throughput, as a real gRPC
+    # completion-queue lock (parse_in_network_thread), so the lock — not
+    # memcached leaf CPU — bounds its throughput, as a real gRPC
     # McRouter-alike saturates.
     router_midtier_cores: int = 4
+
+
+@dataclass(frozen=True)
+class LbConfig:
+    """Front-end load balancer knobs (active when midtier_replicas > 1)."""
+
+    # round-robin | random | least-outstanding | power-of-two
+    # (see repro.rpc.loadbalance.POLICY_NAMES).
+    policy: str = "round-robin"
+    # Per-replica connection pool: max requests in flight per replica
+    # before the balancer queues in its FIFO backlog.
+    pool_size: int = 128
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Leaf-request batching (repro.rpc.batching).  Off by default —
+    nothing is constructed and every pre-batching golden stays
+    bit-identical."""
+
+    enabled: bool = False
+    max_batch: int = 8
+    max_wait_us: float = 50.0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Mid-tier query-result cache (repro.midcache).  Off by default,
+    same bit-identity guarantee.  One cache per mid-tier replica."""
+
+    enabled: bool = False
+    capacity: int = 1024
+    ttl_us: Optional[float] = None  # None = entries never expire
+    policy: str = "lru"
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Request sampling for critical-path attribution
+    (repro.telemetry.critpath).  Off by default: no Tracer is built, no
+    segments are recorded, and every golden stays bit-identical."""
+
+    enabled: bool = False
+    # Sample every Nth request (1 = trace everything).
+    sample_every: int = 100
+    # Cap on retained traces per run (oldest-first admission).
+    max_traces: int = 1000
+    # Tail exemplars to mine per measured cell.
+    top_k: int = 5
+
+    def __post_init__(self):
+        if self.sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {self.sample_every}")
+        if self.max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1: {self.max_traces}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1: {self.top_k}")
+
+
+#: Legacy flat keyword → (nested field, attribute within it).
+_LEGACY_FIELDS: Dict[str, tuple] = {
+    "n_leaves": ("topology", "n_leaves"),
+    "leaf_cores": ("topology", "leaf_cores"),
+    "midtier_cores": ("topology", "midtier_cores"),
+    "midtier_replicas": ("topology", "midtier_replicas"),
+    "router_shards": ("topology", "router_shards"),
+    "router_replicas": ("topology", "router_replicas"),
+    "router_leaf_cores": ("topology", "router_leaf_cores"),
+    "router_midtier_cores": ("topology", "router_midtier_cores"),
+    "lb_policy": ("lb", "policy"),
+    "lb_pool_size": ("lb", "pool_size"),
+    "batch_enable": ("batch", "enabled"),
+    "batch_max": ("batch", "max_batch"),
+    "batch_max_wait_us": ("batch", "max_wait_us"),
+    "cache_enable": ("cache", "enabled"),
+    "cache_capacity": ("cache", "capacity"),
+    "cache_ttl_us": ("cache", "ttl_us"),
+    "cache_policy": ("cache", "policy"),
+}
+
+_SUB_CONFIG_TYPES: Dict[str, type] = {
+    "topology": TopologyConfig,
+    "lb": LbConfig,
+    "batch": BatchConfig,
+    "cache": CacheConfig,
+    "trace": TraceConfig,
+    "midtier_runtime": RuntimeConfig,
+    "leaf_runtime": RuntimeConfig,
+    "router_midtier_runtime": RuntimeConfig,
+}
+
+
+def _warn_legacy(names) -> None:
+    listed = ", ".join(sorted(names))
+    warnings.warn(
+        f"flat ServiceScale keyword(s) deprecated: {listed}; use the nested "
+        "sub-configs (topology=TopologyConfig(...), lb=LbConfig(...), "
+        "batch=BatchConfig(...), cache=CacheConfig(...), "
+        "trace=TraceConfig(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, init=False)
+class ServiceScale:
+    """Everything size-dependent about one experiment configuration."""
+
+    name: str
+
+    # Typed knob groups (see the classes above).
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    lb: LbConfig = field(default_factory=LbConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     midtier_runtime: RuntimeConfig = field(
         default_factory=lambda: RuntimeConfig(
@@ -109,7 +215,7 @@ class ServiceScale:
         default_factory=lambda: {
             "hdsearch": 247.0,
             # Router leaves are memcached-fast; its mid-tier is the
-            # bottleneck (see router_midtier_cores above).
+            # bottleneck (see TopologyConfig.router_midtier_cores).
             "router": 60.0,
             "setalgebra": 176.0,
             "recommend": 222.0,
@@ -126,9 +232,90 @@ class ServiceScale:
         }
     )
 
-    def with_overrides(self, **kwargs) -> "ServiceScale":
-        """A copy with some fields replaced."""
+    def __init__(self, name: str, **kwargs: Any):
+        legacy = {k: kwargs.pop(k) for k in list(kwargs) if k in _LEGACY_FIELDS}
+        canonical = {f.name for f in fields(ServiceScale)}
+        unknown = set(kwargs) - canonical
+        if unknown:
+            raise TypeError(
+                f"unknown ServiceScale field(s): {', '.join(sorted(unknown))}"
+            )
+        object.__setattr__(self, "name", name)
+        for f in fields(ServiceScale):
+            if f.name == "name":
+                continue
+            if f.name in kwargs:
+                value = kwargs[f.name]
+            elif f.default_factory is not MISSING:
+                value = f.default_factory()
+            else:
+                value = f.default
+            object.__setattr__(self, f.name, value)
+        if legacy:
+            _warn_legacy(legacy)
+            per_owner: Dict[str, Dict[str, Any]] = {}
+            for key, value in legacy.items():
+                owner, sub = _LEGACY_FIELDS[key]
+                per_owner.setdefault(owner, {})[sub] = value
+            for owner, changes in per_owner.items():
+                object.__setattr__(
+                    self, owner, replace(getattr(self, owner), **changes)
+                )
+
+    def with_overrides(self, **kwargs: Any) -> "ServiceScale":
+        """A copy with some fields replaced.
+
+        Accepts both canonical fields (``topology=...``, ``n_queries=...``)
+        and — deprecated — the legacy flat keywords (``n_leaves=...``,
+        ``batch_enable=...``), which fold into the matching sub-config.
+        """
         return replace(self, **kwargs)
+
+    # -- round-trip serialization ----------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-data dict that :meth:`from_dict` reconstructs exactly."""
+        out: Dict[str, Any] = {}
+        for f in fields(ServiceScale):
+            value = getattr(self, f.name)
+            if f.name in _SUB_CONFIG_TYPES:
+                out[f.name] = asdict(value)
+            elif isinstance(value, dict):
+                out[f.name] = dict(value)
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceScale":
+        """Rebuild a :class:`ServiceScale` from :meth:`to_dict` output."""
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            sub_type = _SUB_CONFIG_TYPES.get(key)
+            if sub_type is not None and isinstance(value, Mapping):
+                kwargs[key] = sub_type(**value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
+
+def _legacy_property(legacy_name: str, owner: str, sub: str):
+    def getter(self):
+        warnings.warn(
+            f"ServiceScale.{legacy_name} is deprecated; read "
+            f"ServiceScale.{owner}.{sub}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(getattr(self, owner), sub)
+
+    getter.__name__ = legacy_name
+    getter.__doc__ = f"Deprecated alias for ``{owner}.{sub}``."
+    return property(getter)
+
+
+for _legacy_name, (_owner, _sub) in _LEGACY_FIELDS.items():
+    setattr(ServiceScale, _legacy_name, _legacy_property(_legacy_name, _owner, _sub))
+del _legacy_name, _owner, _sub
 
 
 #: "small" keeps full topology but tiny datasets — the benchmark default.
@@ -137,12 +324,16 @@ SCALES: Dict[str, ServiceScale] = {
     "small": ServiceScale(name="small"),
     "unit": ServiceScale(
         name="unit",
-        n_leaves=2,
-        leaf_cores=2,
-        midtier_cores=8,
-        router_shards=2,
-        router_replicas=2,
-        midtier_runtime=RuntimeConfig(network_threads=1, worker_threads=4, response_threads=2),
+        topology=TopologyConfig(
+            n_leaves=2,
+            leaf_cores=2,
+            midtier_cores=8,
+            router_shards=2,
+            router_replicas=2,
+        ),
+        midtier_runtime=RuntimeConfig(
+            network_threads=1, worker_threads=4, response_threads=2
+        ),
         leaf_runtime=RuntimeConfig(network_threads=1, worker_threads=3),
         hds_points=1500,
         hds_dims=32,
@@ -155,3 +346,14 @@ SCALES: Dict[str, ServiceScale] = {
         n_queries=300,
     ),
 }
+
+
+__all__ = [
+    "BatchConfig",
+    "CacheConfig",
+    "LbConfig",
+    "SCALES",
+    "ServiceScale",
+    "TopologyConfig",
+    "TraceConfig",
+]

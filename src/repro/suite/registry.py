@@ -37,9 +37,9 @@ def build_service(
 
     ``tail_policy`` (a :class:`repro.rpc.policy.TailPolicy`) enables the
     mid-tier's deadline/hedging/retry layer; None keeps the stock runtime.
-    Scale-out lives in ``scale``: with ``scale.midtier_replicas > 1`` the
+    Scale-out lives in ``scale``: with ``scale.topology.midtier_replicas > 1`` the
     builder provisions that many mid-tier machines behind a front-end
-    balancer (``scale.lb_policy``) and ``ServiceHandle.target_address``
+    balancer (``scale.lb.policy``) and ``ServiceHandle.target_address``
     points at the balancer instead of a lone mid-tier.
     """
     builders = _builders()

@@ -34,6 +34,12 @@ class Telemetry:
         self.hitm_remote: Counter = Counter()
         self.retransmissions: int = 0
         self.futex_contended_wakes: Counter = Counter()
+        # Microseconds stamped onto sampled traces per (machine, category)
+        # by the critical-path instrumentation (repro.telemetry.critpath).
+        # Recorded at the same sites as the trace segments so aggregate
+        # cross-checks can compare against an exact-by-construction total.
+        self.attributed: Dict[Tuple[str, str], float] = {}
+        self.attributed_counts: Counter = Counter()
         # Free-form extension points used by RPC / loadgen layers.
         self.histograms: Dict[str, LatencyHistogram] = {}
         self.counters: Counter = Counter()
@@ -67,6 +73,8 @@ class Telemetry:
         self.hitm_remote.clear()
         self.retransmissions = 0
         self.futex_contended_wakes.clear()
+        self.attributed.clear()
+        self.attributed_counts.clear()
         self.histograms.clear()
         self.counters.clear()
         self.events.clear()
@@ -135,6 +143,15 @@ class Telemetry:
         if self.in_window():
             self.futex_contended_wakes[machine] += 1
 
+    def record_attributed(self, machine: str, category: str, us: float) -> None:
+        """Count microseconds stamped onto a traced request's segments."""
+        sim = self._sim
+        if (sim._now if sim is not None else self._clock()) < self.window_start:
+            return
+        key = (machine, category)
+        self.attributed[key] = self.attributed.get(key, 0.0) + us
+        self.attributed_counts[key] += 1
+
     # -- generic extension probes ----------------------------------------
     def hist(self, name: str) -> LatencyHistogram:
         """Named histogram, created on first use (e.g. e2e latency)."""
@@ -171,6 +188,14 @@ class Telemetry:
     def irq_hist(self, machine: str, kind: str) -> LatencyHistogram:
         """IRQ latency histogram (empty if never recorded)."""
         return self.irq_latency.get((machine, kind), LatencyHistogram(1))
+
+    def runqlat_hist(self, machine: str) -> LatencyHistogram:
+        """Runqueue-wait histogram (empty if never recorded)."""
+        return self.runqlat.get(machine, LatencyHistogram(1))
+
+    def attributed_total(self, machine: str, category: str) -> float:
+        """Microseconds stamped onto traces for one machine + category."""
+        return self.attributed.get((machine, category), 0.0)
 
     # -- replica roll-ups (scale-out topologies) ---------------------------
     def merged_runqlat(self, machines: List[str]) -> LatencyHistogram:

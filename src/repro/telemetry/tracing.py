@@ -13,12 +13,18 @@ as a request crosses the tiers:
 
 Sampling keeps overhead bounded: the load generator attaches a trace to
 every Nth request; untraced requests pay one ``is None`` check.
+
+Besides application-level spans, a trace accumulates kernel-level
+:class:`Segment`\\ s — runqueue waits, softirq service, wire time —
+stamped by the scheduler / NIC pipeline whenever a traced message drives
+them.  :mod:`repro.telemetry.critpath` joins both streams into an exact
+tiling of the request's wall-clock interval.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 
 @dataclass
@@ -29,10 +35,33 @@ class Span:
     machine: str
     start_us: float
     end_us: Optional[float] = None
+    # The RPC (sub-)request this span served, when known.  Lets the
+    # attribution engine drop spans from losing hedge/retry paths.
+    request_id: Optional[int] = None
 
     @property
     def duration_us(self) -> float:
         return (self.end_us - self.start_us) if self.end_us is not None else 0.0
+
+
+@dataclass
+class Segment:
+    """One kernel-level event interval attributed to a traced request.
+
+    ``category`` is one of :data:`repro.telemetry.critpath.CATEGORIES`;
+    ``request_id`` names the (sub-)request whose message drove the event,
+    so hedged duplicates can be filtered to the winning path.
+    """
+
+    category: str
+    machine: str
+    start_us: float
+    end_us: float
+    request_id: Optional[int] = None
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
 
 
 @dataclass
@@ -43,16 +72,51 @@ class Trace:
     started_us: float
     spans: List[Span] = field(default_factory=list)
     finished_us: Optional[float] = None
+    # Kernel-event intervals (see Segment above), appended in event order.
+    segments: List[Segment] = field(default_factory=list)
+    # Sub-request ids whose response was merged into the reply (losing
+    # hedge/retry duplicates never get noted here).
+    winners: Set[int] = field(default_factory=set)
 
     def begin(self, name: str, machine: str, now: float) -> Span:
         span = Span(name=name, machine=machine, start_us=now)
         self.spans.append(span)
         return span
 
-    def record(self, name: str, machine: str, start_us: float, end_us: float) -> Span:
-        span = Span(name=name, machine=machine, start_us=start_us, end_us=end_us)
+    def record(
+        self,
+        name: str,
+        machine: str,
+        start_us: float,
+        end_us: float,
+        request_id: Optional[int] = None,
+    ) -> Span:
+        span = Span(
+            name=name, machine=machine, start_us=start_us, end_us=end_us,
+            request_id=request_id,
+        )
         self.spans.append(span)
         return span
+
+    def add_segment(
+        self,
+        category: str,
+        machine: str,
+        start_us: float,
+        end_us: float,
+        request_id: Optional[int] = None,
+    ) -> None:
+        """Stamp one kernel-event interval onto this trace."""
+        self.segments.append(
+            Segment(
+                category=category, machine=machine,
+                start_us=start_us, end_us=end_us, request_id=request_id,
+            )
+        )
+
+    def note_winner(self, request_id: int) -> None:
+        """Mark a sub-request's response as merged into the reply."""
+        self.winners.add(request_id)
 
     def end_last(self, name: str, now: float) -> Optional[Span]:
         """Close the most recent still-open span called ``name``."""

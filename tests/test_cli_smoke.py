@@ -154,6 +154,71 @@ def test_cli_cache_bad_batch_size_exits_2(capsys):
     assert "positive integer" in capsys.readouterr().err
 
 
+# -- usuite trace -----------------------------------------------------------
+
+def test_cli_trace_happy_path(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_trace.json"
+    exit_code = main([
+        "trace", "--scale", "unit", "--services", "hdsearch",
+        "--loads", "1000", "--queries", "150", "--output", str(out_path),
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Critical-path attribution sweep" in out
+    assert "bit-identical" in out
+    assert "recorded" in out
+    # The artifact exists and conforms to the checked-in schema.
+    data = json.loads(out_path.read_text())
+    validate(data, load_schema("bench_trace.schema.json"))
+    acceptance = data["acceptance"]
+    assert acceptance["pass"] is True
+    assert acceptance["tiling_exact"] is True
+    assert acceptance["traces_sampled_everywhere"] is True
+    assert acceptance["crosscheck_within_tolerance"] is True
+    assert acceptance["bit_reproducible"] is True
+    assert data["reproducibility"]["bit_identical"] is True
+    # Exemplar ids are cell-relative so double runs stay comparable.
+    for cell in data["cells"]:
+        assert all(e["request_id"] >= 0 for e in cell["exemplars"])
+
+
+def test_cli_trace_unknown_scale_exits_2(capsys):
+    exit_code = main(["trace", "--scale", "zeppelin"])
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "unknown scale" in err
+    assert "zeppelin" in err
+    assert "unit" in err  # the message lists the valid choices
+
+
+def test_cli_trace_bad_sample_every_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--sample-every", "0"])
+    assert excinfo.value.code == 2
+    assert "positive integer" in capsys.readouterr().err
+
+
+def test_trace_schema_rejects_malformed_artifact():
+    schema = load_schema("bench_trace.schema.json")
+    with pytest.raises(SchemaError, match="missing required property"):
+        validate({"benchmark": "truncated"}, schema)
+    with pytest.raises(SchemaError):
+        validate(
+            {
+                "benchmark": "trace", "scale": "unit", "seed": 0,
+                "queries_per_cell": 150, "sample_every": 1,
+                "categories": ["hardirq", "net_rx", "net_tx", "active_exe",
+                               "queue_dwell", "net", "leaf_compute",
+                               "app_compute"],
+                "cells": [{"service": "hdsearch", "qps": "fast"}],
+                "reproducibility": {"service": "hdsearch", "qps": 1.0,
+                                    "bit_identical": True},
+                "acceptance": {"pass": True},
+            },
+            schema,
+        )
+
+
 def test_cache_schema_rejects_malformed_artifact():
     schema = load_schema("bench_cache.schema.json")
     with pytest.raises(SchemaError, match="missing required property"):

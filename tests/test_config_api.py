@@ -1,0 +1,126 @@
+"""The typed config tree: round-trips, legacy shims, and the public API.
+
+The config redesign groups ServiceScale's knobs into frozen sub-configs
+(topology/lb/batch/cache/trace).  These tests pin the two compatibility
+contracts: ``to_dict``/``from_dict`` reconstruct a scale exactly, and the
+legacy flat keywords keep working — bit-for-bit equivalent to the nested
+form — while warning loudly enough for the CI deprecation gate to catch
+in-tree users.
+"""
+
+import warnings
+
+import pytest
+
+from repro.suite import SCALES
+from repro.suite.config import (
+    BatchConfig,
+    CacheConfig,
+    LbConfig,
+    ServiceScale,
+    TopologyConfig,
+    TraceConfig,
+)
+
+
+# -- round-trip serialization ------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SCALES))
+def test_builtin_scales_round_trip(name):
+    scale = SCALES[name]
+    rebuilt = ServiceScale.from_dict(scale.to_dict())
+    assert rebuilt == scale
+    assert rebuilt.to_dict() == scale.to_dict()
+
+
+def test_round_trip_preserves_nested_overrides():
+    scale = SCALES["unit"].with_overrides(
+        lb=LbConfig(policy="power-of-two", pool_size=16),
+        batch=BatchConfig(enabled=True, max_batch=4, max_wait_us=25.0),
+        cache=CacheConfig(enabled=True, capacity=64, ttl_us=1e6, policy="fifo"),
+        trace=TraceConfig(enabled=True, sample_every=1, max_traces=50, top_k=3),
+    )
+    rebuilt = ServiceScale.from_dict(scale.to_dict())
+    assert rebuilt == scale
+    assert rebuilt.trace.sample_every == 1
+    assert rebuilt.cache.ttl_us == 1e6
+    # The sub-configs come back as the typed classes, not plain dicts.
+    assert isinstance(rebuilt.topology, TopologyConfig)
+    assert isinstance(rebuilt.trace, TraceConfig)
+
+
+def test_to_dict_is_plain_data():
+    import json
+
+    json.dumps(SCALES["small"].to_dict())  # must not raise
+
+
+# -- legacy flat keywords ----------------------------------------------------
+
+def test_legacy_constructor_kwargs_warn_and_match_nested():
+    with pytest.warns(DeprecationWarning, match="n_leaves"):
+        legacy = ServiceScale(name="t", n_leaves=2, batch_enable=True,
+                              cache_capacity=99)
+    nested = ServiceScale(
+        name="t",
+        topology=TopologyConfig(n_leaves=2),
+        batch=BatchConfig(enabled=True),
+        cache=CacheConfig(capacity=99),
+    )
+    assert legacy == nested
+
+
+def test_legacy_with_overrides_folds_into_sub_config():
+    with pytest.warns(DeprecationWarning, match="lb_policy"):
+        shimmed = SCALES["unit"].with_overrides(lb_policy="random")
+    nested = SCALES["unit"].with_overrides(lb=LbConfig(policy="random"))
+    assert shimmed == nested
+    # Untouched sub-configs survive the fold.
+    assert shimmed.topology == SCALES["unit"].topology
+
+
+def test_legacy_attribute_reads_warn_and_alias():
+    scale = SCALES["unit"]
+    with pytest.warns(DeprecationWarning, match="topology.n_leaves"):
+        assert scale.n_leaves == scale.topology.n_leaves
+    with pytest.warns(DeprecationWarning, match="cache.capacity"):
+        assert scale.cache_capacity == scale.cache.capacity
+
+
+def test_nested_construction_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        scale = ServiceScale(name="quiet", topology=TopologyConfig(n_leaves=3))
+        scale.with_overrides(trace=TraceConfig(enabled=True, sample_every=1))
+        scale.to_dict()
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(TypeError, match="unknown ServiceScale field"):
+        ServiceScale(name="bad", definitely_not_a_knob=1)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"sample_every": 0}, {"max_traces": 0}, {"top_k": 0},
+])
+def test_trace_config_validates(kwargs):
+    with pytest.raises(ValueError):
+        TraceConfig(enabled=True, **kwargs)
+
+
+# -- the package's public surface -------------------------------------------
+
+def test_repro_package_exports_the_stable_api():
+    import repro
+
+    for name in ("build_cluster", "run_experiment", "ServiceScale",
+                 "TraceConfig", "SCALES", "Tracer", "attribute"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_repro_package_rejects_internals():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.definitely_not_public
