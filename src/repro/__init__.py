@@ -64,8 +64,23 @@ _EXPORTS = {
     "build_service": "repro.suite",
     "run_open_loop": "repro.suite.cluster",
     "run_closed_loop": "repro.suite.cluster",
-    # loadgen: the end-to-end latency histogram name
+    # graph: declarative service-graph DAGs (repro.graph)
+    "GraphConfig": "repro.graph",
+    "GraphEdge": "repro.graph",
+    "GraphError": "repro.graph",
+    "GraphNode": "repro.graph",
+    "build_graph": "repro.graph",
+    "exemplar_graph": "repro.graph",
+    "onehop_graph": "repro.graph",
+    # loadgen: the end-to-end latency histogram name, plus the traffic
+    # models (rate curves, variable-rate open loop, session mixes)
     "E2E_HIST": "repro.loadgen.client",
+    "ConstantRate": "repro.loadgen.traffic",
+    "DiurnalRate": "repro.loadgen.traffic",
+    "FlashCrowd": "repro.loadgen.traffic",
+    "SessionClass": "repro.loadgen.traffic",
+    "SessionLoadGen": "repro.loadgen.traffic",
+    "VariableRateLoadGen": "repro.loadgen.traffic",
     # telemetry: sampled traces and critical-path attribution
     "Trace": "repro.telemetry.tracing",
     "Tracer": "repro.telemetry.tracing",

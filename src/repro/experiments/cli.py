@@ -210,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_cache.json)")
 
+    p = sub.add_parser(
+        "graph", help="service-graph DAG tail-amplification sweep"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--qps", type=float, default=None,
+                   help="offered load per amplification cell (default: 1200)")
+    p.add_argument("--queries", type=_positive_int, default=None,
+                   help="queries per cell (default: 2500; duration scales 1/qps)")
+    p.add_argument("--workload-queries", type=_positive_int, default=None,
+                   help="distinct queries in the cycling workload (default: 300)")
+    p.add_argument("--intensity", type=float, default=None,
+                   help="Pareto tail probability at the injected storage leaf "
+                   "(default: 0.02)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file (e.g. BENCH_graph.json)")
+
     p = sub.add_parser("figure-smoke",
                        help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -529,6 +545,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         if not args.output and outcome.checks is not None:
             print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+
+    elif command == "graph":
+        from repro.experiments import graph_sweep
+        from repro.experiments.runner import run_experiment
+
+        print("Service-graph amplification sweep")
+        outcome = run_experiment(
+            graph_sweep.EXPERIMENT,
+            params=dict(
+                qps=args.qps or graph_sweep.QPS,
+                queries=args.queries or graph_sweep.QUERIES_PER_CELL,
+                workload_queries=(
+                    args.workload_queries or graph_sweep.WORKLOAD_QUERIES
+                ),
+                seed=args.seed,
+                intensity=(
+                    args.intensity if args.intensity is not None
+                    else graph_sweep.INJECT_INTENSITY
+                ),
+            ),
+            output=args.output,
+        )
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+        return outcome.exit_code
 
     elif command == "figure-smoke":
         from repro.experiments import figure_smoke

@@ -1,0 +1,199 @@
+"""Artifact-drift gate: committed benchmarks must still reproduce.
+
+Every ``BENCH_*.json`` in the repository root embeds a *pinned
+acceptance cell*: one measurement re-run twice at recording time and
+committed byte-for-byte (the ``reproducibility`` block, or the recovery
+triple for the fault sweep).  This module re-runs exactly that cell from
+the parameters recorded **inside the artifact** and fails on any byte
+difference in the canonical JSON — so a simulator change that silently
+shifts committed numbers turns CI red instead of rotting the artifacts.
+
+``BENCH_engine.json`` is exempt by design: it records wall-clock
+throughput, which is hardware-dependent and cannot be byte-stable.
+
+Run as ``python -m repro.experiments.drift [ARTIFACT ...]``; with no
+arguments it checks every known artifact present in the working
+directory.  Exit 0 when everything reproduces, 1 on drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Artifacts with wall-clock (hardware-dependent) numbers: never gated.
+EXEMPT = ("BENCH_engine.json",)
+
+
+def _canon(obj) -> str:
+    """The canonical JSON form both sides of every comparison use."""
+    return json.dumps(obj, indent=2, sort_keys=True)
+
+
+def _probe_graph(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import graph_sweep
+    from repro.graph import exemplar_graph
+
+    cell = graph_sweep.measure_graph_cell(
+        exemplar_graph(n_queries=doc["workload_queries"]),
+        qps=doc["qps"],
+        seed=doc["seed"],
+        queries=doc["queries_per_cell"],
+        faults=graph_sweep.injection_plan(doc["injection"]["intensity"]),
+        traced=True,
+    )
+    return (
+        asdict(cell),
+        doc["reproducibility"]["first"],
+        "deep injected cell",
+    )
+
+
+def _probe_trace(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import trace_sweep
+
+    repro = doc["reproducibility"]
+    cell = trace_sweep.measure_trace_cell(
+        repro["service"],
+        doc["scale"],
+        repro["qps"],
+        seed=doc["seed"],
+        queries=doc["queries_per_cell"],
+        sample_every=doc["sample_every"],
+        top_k=len(repro["first"]["exemplars"]),
+    )
+    return (
+        asdict(cell),
+        repro["first"],
+        f"{repro['service']} @ {repro['qps']:g} QPS traced cell",
+    )
+
+
+def _probe_cache(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import cache_sweep
+
+    repro = doc["reproducibility"]
+    defaults = doc["defaults"]
+    built = cache_sweep.sweep_scale(
+        defaults["batch_max"], defaults["cache_capacity"],
+        scale=doc["scale"], cache_policy=defaults["cache_policy"],
+    )
+    point = cache_sweep.measure_cache_point(
+        repro["service"], built, repro["qps"], seed=doc["seed"],
+        duration_us=doc["duration_us"],
+    )
+    return (
+        asdict(point),
+        repro["first"],
+        f"{repro['service']} @ {repro['qps']:g} QPS batch+cache cell",
+    )
+
+
+def _probe_scale(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import scale_sweep
+
+    repro = doc["reproducibility"]
+    n = repro["replicas"]
+    built = scale_sweep.sweep_scale(
+        n, repro["policy"] if n > 1 else "round-robin",
+        scale=doc["scale"], service=doc["service"],
+    )
+    point = scale_sweep.measure_load_point(
+        doc["service"], built, repro["qps"], seed=doc["seed"],
+        duration_us=doc["duration_us"],
+    )
+    return (
+        asdict(point),
+        repro["first"],
+        f"{n} replicas / {repro['policy']} @ {repro['qps']:g} QPS cell",
+    )
+
+
+def _probe_faults(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import fault_sweep
+
+    recovery = doc["recovery"]
+    report = fault_sweep.run_recovery(
+        service=recovery["service"],
+        qps=recovery["qps"],
+        intensity=recovery["intensity"],
+        scale=recovery["scale"],
+        seed=recovery["seed"],
+        duration_us=recovery["duration_us"],
+    )
+    return asdict(report), recovery, "recovery triple"
+
+
+#: artifact file name -> probe(doc) -> (fresh, committed, label).
+PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
+    "BENCH_graph.json": _probe_graph,
+    "BENCH_trace.json": _probe_trace,
+    "BENCH_cache.json": _probe_cache,
+    "BENCH_scale.json": _probe_scale,
+    "BENCH_faults.json": _probe_faults,
+}
+
+
+def check_artifact(path: Path) -> Tuple[bool, str]:
+    """Re-run one artifact's pinned cell; (ok, human-readable detail)."""
+    probe = PROBES.get(path.name)
+    if probe is None:
+        return True, f"{path}: no drift probe registered, skipped"
+    doc = json.loads(path.read_text())
+    fresh, committed, label = probe(doc)
+    if _canon(fresh) == _canon(committed):
+        return True, f"{path}: ok ({label} reproduces byte-identically)"
+    diff_keys = sorted(
+        key for key in set(fresh) | set(committed)
+        if _canon(fresh.get(key)) != _canon(committed.get(key))
+    )
+    return False, (
+        f"{path}: DRIFT in {label}: fields differ: {', '.join(diff_keys)}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.drift",
+        description="Re-run each committed benchmark artifact's pinned "
+        "acceptance cell and fail on byte drift.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="*",
+        help="artifact paths (default: every known BENCH_*.json present)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifacts:
+        paths = [Path(p) for p in args.artifacts]
+    else:
+        paths = [Path(name) for name in sorted(PROBES) if Path(name).exists()]
+        if not paths:
+            print("error: no committed artifacts found in the working directory")
+            return 2
+    failed = False
+    for path in paths:
+        if path.name in EXEMPT:
+            print(f"{path}: exempt (wall-clock numbers), skipped")
+            continue
+        if not path.exists():
+            print(f"{path}: missing")
+            failed = True
+            continue
+        ok, detail = check_artifact(path)
+        print(detail)
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    import sys
+
+    sys.exit(main())
+
+
+__all__ = ["EXEMPT", "PROBES", "check_artifact", "main"]

@@ -324,4 +324,4 @@ def record_bench(
             {**asdict(cell), "tail_amplification": round(cell.tail_amplification, 3)}
             for cell in sweep
         ]
-    return runner.write_artifact(data, path)
+    return runner.write_artifact(data, path, schema="bench_faults.schema.json")

@@ -151,7 +151,7 @@ def format_figure_smoke(report: dict) -> str:
 
 def write_report(report: dict, path: str) -> None:
     """Persist the smoke report as a JSON artifact."""
-    runner.write_artifact(report, path)
+    runner.write_artifact(report, path, schema="figure_smoke.schema.json")
 
 
 #: Runner spec: ``usuite figure-smoke`` is this experiment.
@@ -160,4 +160,5 @@ EXPERIMENT = runner.Experiment(
     run=run_figure_smoke,
     format=format_figure_smoke,
     acceptance=lambda report: {"pass": report["passed"]},
+    schema="figure_smoke.schema.json",
 )

@@ -1,0 +1,629 @@
+"""Service-graph tail-amplification sweep (``usuite graph``).
+
+The paper's one-hop services show OS/network overheads per tier; deep
+graphs *compound* them (DeathStarBench, arXiv:1905.11055).  This sweep
+quantifies that on the committed 5-tier :func:`~repro.graph.exemplar_graph`
+against its μSuite-shaped :func:`~repro.graph.onehop_graph` baseline:
+
+* **amplification** — inject the PR 2 Pareto slowdown
+  (:class:`~repro.faults.LeafSlowdown`, the fault sweep's scale/alpha) at
+  the *storage* node — terminal index 0, one hop from the root in the
+  baseline, five tiers deep in the exemplar — and compare the added
+  end-to-end p99 (injected minus clean).  The graph shape multiplies
+  exposure (16 storage reads per query vs. 4) and upper tiers queue
+  behind stragglers, so the same per-execution fault adds super-linearly
+  more tail: the gate requires ≥ :data:`AMPLIFICATION_GATE` ×.
+* **attribution** — the deep cells run with every request traced; the
+  per-machine critical-path delta between injected and clean p99-tail
+  traces must assign the majority of the added tail time to the injected
+  storage machine (:data:`ATTRIBUTION_GATE`).
+* **traffic** — the loadgen upgrade's diurnal + flash-crowd curve drives
+  the exemplar via Lewis–Shedler thinning; realized arrivals must match
+  the curve's analytic integral within :data:`ARRIVALS_TOLERANCE`, and a
+  heterogeneous closed-loop session mix must conserve per-class in-flight
+  counts.
+* **reproducibility** — the acceptance (deep injected) cell re-runs and
+  must be bit-identical.
+
+``record_bench`` writes ``BENCH_graph.json`` validated against the
+checked-in ``schemas/bench_graph.schema.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import runner
+from repro.experiments.fault_sweep import TAIL_ALPHA, TAIL_SCALE_US
+from repro.experiments.tables import render_table
+from repro.faults import FaultPlan, LeafSlowdown
+from repro.graph import GraphConfig, build_graph, exemplar_graph, onehop_graph
+from repro.loadgen.traffic import (
+    DiurnalRate,
+    FlashCrowd,
+    SessionClass,
+    SessionLoadGen,
+    VariableRateLoadGen,
+)
+from repro.suite.cluster import SimCluster, run_open_loop
+from repro.telemetry import critpath
+from repro.telemetry.tracing import Tracer
+
+#: Offered load for the amplification cells: high enough that the
+#: storage tier queues behind Pareto stragglers, below saturation.
+QPS = 1_200.0
+
+#: Fixed query count per cell (duration scales as ``1/qps``).
+QUERIES_PER_CELL = 2_500
+
+#: Cycling workload size for both graphs (GraphConfig.n_queries).
+WORKLOAD_QUERIES = 300
+
+#: The injected fault: each storage execution draws the fault sweep's
+#: Pareto tail with this probability (same scale/alpha as BENCH_faults).
+INJECT_INTENSITY = 0.02
+
+#: The graphs' storage node: terminal index 0 in both (see exemplar.py).
+INJECTED_NODE = "store"
+INJECTED_LEAF_INDEX = 0
+
+#: Traces with total latency at or above this percentile form the tail
+#: whose per-machine delta the attribution gate examines.
+TAIL_PERCENTILE = 99.0
+
+#: Acceptance gates.
+AMPLIFICATION_GATE = 1.5
+ATTRIBUTION_GATE = 0.5
+ARRIVALS_TOLERANCE = 0.10
+
+WARMUP_US = 150_000.0
+
+#: Default artifact path, relative to the repository root / CWD.
+BENCH_PATH = "BENCH_graph.json"
+
+
+def _percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of raw values (deterministic, no interp)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = int(round(pct / 100.0 * (len(ordered) - 1)))
+    return ordered[min(len(ordered) - 1, index)]
+
+
+def injection_plan(intensity: float = INJECT_INTENSITY) -> FaultPlan:
+    """The single-deep-leaf slowdown both amplification cells share."""
+    return FaultPlan(
+        leaf_slowdown=LeafSlowdown(
+            leaves=(INJECTED_LEAF_INDEX,),
+            tail_probability=intensity,
+            tail_scale_us=TAIL_SCALE_US,
+            tail_alpha=TAIL_ALPHA,
+        )
+    )
+
+
+@dataclass
+class GraphCell:
+    """One measured (graph, injected?) cell."""
+
+    graph: str
+    injected: bool
+    qps: float
+    duration_us: float
+    sent: int
+    completed: int
+    e2e_p50_us: float
+    e2e_p99_us: float
+    #: Tracing (deep cells only): sampled trace count, p99-tail size, and
+    #: mean critical-path µs per machine over the tail traces.
+    traces: int = 0
+    tail_traces: int = 0
+    machine_tail_us: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrafficCell:
+    """The diurnal + flash-crowd open-loop arrival check."""
+
+    curve: str
+    duration_us: float
+    expected_arrivals: float
+    sent: int
+    thinned: int
+    completed: int
+    rel_err: float
+
+
+@dataclass
+class SessionCell:
+    """The heterogeneous closed-loop session-mix check."""
+
+    duration_us: float
+    #: class name -> {clients, think_mean_us, completed, max_in_flight}.
+    classes: Dict[str, Dict[str, float]]
+    conserved: bool
+
+
+@dataclass
+class GraphSweepReport:
+    """The whole sweep plus the double-run reproducibility check."""
+
+    seed: int
+    qps: float
+    queries_per_cell: int
+    workload_queries: int
+    intensity: float
+    tail_scale_us: float
+    tail_alpha: float
+    injected_node: str
+    deep_graph: dict
+    onehop_graph: dict
+    depth: int
+    visits_per_query: Dict[str, float]
+    onehop_clean: GraphCell
+    onehop_injected: GraphCell
+    deep_clean: GraphCell
+    deep_injected: GraphCell
+    traffic: TrafficCell
+    sessions: SessionCell
+    repro_second: GraphCell
+
+    @property
+    def bit_reproducible(self) -> bool:
+        return asdict(self.deep_injected) == asdict(self.repro_second)
+
+    @property
+    def injected_machine(self) -> str:
+        return f"{self.deep_graph['name']}-{self.injected_node}"
+
+    def amplification(self) -> Dict[str, float]:
+        """Added end-to-end p99 (injected − clean), deep vs. one hop."""
+        added_onehop = (
+            self.onehop_injected.e2e_p99_us - self.onehop_clean.e2e_p99_us
+        )
+        added_deep = self.deep_injected.e2e_p99_us - self.deep_clean.e2e_p99_us
+        ratio = added_deep / added_onehop if added_onehop > 0 else 0.0
+        return {
+            "added_p99_us_onehop": added_onehop,
+            "added_p99_us_deep": added_deep,
+            "inflation_onehop": (
+                self.onehop_injected.e2e_p99_us / self.onehop_clean.e2e_p99_us
+                if self.onehop_clean.e2e_p99_us > 0 else 0.0
+            ),
+            "inflation_deep": (
+                self.deep_injected.e2e_p99_us / self.deep_clean.e2e_p99_us
+                if self.deep_clean.e2e_p99_us > 0 else 0.0
+            ),
+            "ratio": ratio,
+        }
+
+    def attribution(self) -> Dict[str, object]:
+        """Per-machine added tail time (injected − clean deep cells)."""
+        added: Dict[str, float] = {}
+        machines = set(self.deep_injected.machine_tail_us) | set(
+            self.deep_clean.machine_tail_us
+        )
+        for machine in sorted(machines):
+            delta = self.deep_injected.machine_tail_us.get(
+                machine, 0.0
+            ) - self.deep_clean.machine_tail_us.get(machine, 0.0)
+            if delta > 0:
+                added[machine] = delta
+        total_added = sum(added.values())
+        injected_share = (
+            added.get(self.injected_machine, 0.0) / total_added
+            if total_added > 0 else 0.0
+        )
+        return {
+            "injected_machine": self.injected_machine,
+            "added_tail_us_by_machine": added,
+            "injected_share": injected_share,
+        }
+
+
+def measure_graph_cell(
+    graph: GraphConfig,
+    qps: float,
+    seed: int = 0,
+    queries: int = QUERIES_PER_CELL,
+    faults: Optional[FaultPlan] = None,
+    traced: bool = False,
+) -> GraphCell:
+    """Run one open-loop cell of one graph, optionally fault-injected."""
+    runner.pin_arrivals()
+    cluster = SimCluster(seed=seed, faults=faults)
+    handle = build_graph(cluster, graph)
+    tracer = (
+        Tracer(sample_every=1, max_traces=2 * queries) if traced else None
+    )
+    result = run_open_loop(
+        cluster, handle, qps=qps, duration_us=queries / qps * 1e6,
+        warmup_us=WARMUP_US, tracer=tracer,
+    )
+    traces = tracer.finished if tracer is not None else []
+    machine_tail: Dict[str, float] = {}
+    tail_count = 0
+    if traces:
+        attrs = [critpath.attribute(trace) for trace in traces]
+        cut = _percentile([a.total_us for a in attrs], TAIL_PERCENTILE)
+        tail = [a for a in attrs if a.total_us >= cut]
+        tail_count = len(tail)
+        for attr in tail:
+            for (machine, _category), us in attr.by_machine.items():
+                machine_tail[machine] = machine_tail.get(machine, 0.0) + us
+        machine_tail = {
+            machine: us / tail_count for machine, us in machine_tail.items()
+        }
+    cell = GraphCell(
+        graph=graph.name,
+        injected=faults is not None,
+        qps=qps,
+        duration_us=queries / qps * 1e6,
+        sent=result.sent,
+        completed=result.completed,
+        e2e_p50_us=result.e2e.percentile(50),
+        e2e_p99_us=result.e2e.percentile(99),
+        traces=len(traces),
+        tail_traces=tail_count,
+        machine_tail_us=dict(sorted(machine_tail.items())),
+    )
+    cluster.shutdown()
+    return cell
+
+
+def traffic_curve(duration_us: float, base_qps: float) -> FlashCrowd:
+    """The sweep's non-constant offered load: a diurnal sinusoid (one and
+    a half periods over the run) with a 2.5× flash crowd late in it."""
+    return FlashCrowd(
+        base=DiurnalRate(
+            base_qps=base_qps, amplitude=0.4, period_us=duration_us / 1.5
+        ),
+        start_us=0.55 * duration_us,
+        duration_us=0.2 * duration_us,
+        multiplier=2.5,
+    )
+
+
+def measure_traffic_cell(
+    graph: GraphConfig,
+    qps: float = QPS,
+    seed: int = 0,
+    queries: int = QUERIES_PER_CELL,
+) -> TrafficCell:
+    """Drive the exemplar with the variable-rate open loop and compare
+    realized arrivals against the curve's analytic integral."""
+    runner.pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    handle = build_graph(cluster, graph)
+    duration_us = queries / qps * 1e6
+    curve = traffic_curve(duration_us, base_qps=0.8 * qps)
+    gen = VariableRateLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=handle.target_address, source=handle.make_source(),
+        curve=curve,
+    )
+    gen.start()
+    cluster.run(until=cluster.sim.now + duration_us)
+    expected = gen.expected_sent()
+    sent = gen.sent
+    gen.stop()
+    cluster.run(until=cluster.sim.now + 50_000.0)
+    cluster.fabric.unregister(gen.name)
+    cell = TrafficCell(
+        curve=(
+            f"flash(x{curve.multiplier:g} @ [{curve.start_us:g}, "
+            f"{curve.end_us:g}]us) over diurnal(base={curve.base.base_qps:g}, "
+            f"amp={curve.base.amplitude:g}, period={curve.base.period_us:g}us)"
+        ),
+        duration_us=duration_us,
+        expected_arrivals=expected,
+        sent=sent,
+        thinned=gen.thinned,
+        completed=gen.completed,
+        rel_err=abs(sent - expected) / expected if expected > 0 else 1.0,
+    )
+    cluster.shutdown()
+    return cell
+
+
+#: The heterogeneous closed-loop mix: interactive users, a slow
+#: reporting population, and a small think-free bulk loader.
+SESSION_MIX = (
+    SessionClass(name="interactive", clients=6, think_mean_us=4_000.0),
+    SessionClass(name="reporting", clients=3, think_mean_us=15_000.0),
+    SessionClass(name="bulk", clients=2, think_mean_us=0.0),
+)
+
+
+def measure_session_cell(
+    graph: GraphConfig,
+    seed: int = 0,
+    duration_us: float = 800_000.0,
+) -> SessionCell:
+    """Run the session mix closed-loop and check in-flight conservation."""
+    runner.pin_arrivals()
+    cluster = SimCluster(seed=seed)
+    handle = build_graph(cluster, graph)
+    gen = SessionLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=handle.target_address, source=handle.make_source(),
+        classes=SESSION_MIX,
+    )
+    gen.start()
+    cluster.run(until=cluster.sim.now + duration_us)
+    gen.stop()
+    cluster.run(until=cluster.sim.now + 50_000.0)
+    cluster.fabric.unregister(gen.name)
+    classes = {
+        cls.name: {
+            "clients": cls.clients,
+            "think_mean_us": cls.think_mean_us,
+            "completed": gen.completed_by_class[cls.name],
+            "max_in_flight": gen.max_in_flight[cls.name],
+        }
+        for cls in SESSION_MIX
+    }
+    conserved = all(
+        gen.max_in_flight[cls.name] <= cls.clients
+        and gen.completed_by_class[cls.name] > 0
+        for cls in SESSION_MIX
+    )
+    cluster.shutdown()
+    return SessionCell(
+        duration_us=duration_us, classes=classes, conserved=conserved
+    )
+
+
+def run_graph_sweep(
+    qps: float = QPS,
+    queries: int = QUERIES_PER_CELL,
+    workload_queries: int = WORKLOAD_QUERIES,
+    seed: int = 0,
+    intensity: float = INJECT_INTENSITY,
+) -> GraphSweepReport:
+    """The four amplification cells, the traffic checks, and the repro
+    double run."""
+    if qps <= 0:
+        raise runner.UsageError(f"qps must be positive: {qps}")
+    if queries < 100:
+        raise runner.UsageError(
+            f"queries must be >= 100 for a usable p99: {queries}"
+        )
+    if workload_queries < 1:
+        raise runner.UsageError(
+            f"workload-queries must be >= 1: {workload_queries}"
+        )
+    if not 0.0 < intensity <= 1.0:
+        raise runner.UsageError(
+            f"intensity must be in (0, 1]: {intensity}"
+        )
+    deep = exemplar_graph(n_queries=workload_queries)
+    onehop = onehop_graph(n_queries=workload_queries)
+    plan = injection_plan(intensity)
+    onehop_clean = measure_graph_cell(onehop, qps, seed=seed, queries=queries)
+    onehop_injected = measure_graph_cell(
+        onehop, qps, seed=seed, queries=queries, faults=plan
+    )
+    deep_clean = measure_graph_cell(
+        deep, qps, seed=seed, queries=queries, traced=True
+    )
+    deep_injected = measure_graph_cell(
+        deep, qps, seed=seed, queries=queries, faults=plan, traced=True
+    )
+    repro_second = measure_graph_cell(
+        deep, qps, seed=seed, queries=queries, faults=plan, traced=True
+    )
+    traffic = measure_traffic_cell(deep, qps=qps, seed=seed, queries=queries)
+    sessions = measure_session_cell(deep, seed=seed)
+    return GraphSweepReport(
+        seed=seed,
+        qps=qps,
+        queries_per_cell=queries,
+        workload_queries=workload_queries,
+        intensity=intensity,
+        tail_scale_us=TAIL_SCALE_US,
+        tail_alpha=TAIL_ALPHA,
+        injected_node=INJECTED_NODE,
+        deep_graph=deep.to_dict(),
+        onehop_graph=onehop.to_dict(),
+        depth=deep.depth(),
+        visits_per_query=deep.visits_per_query(),
+        onehop_clean=onehop_clean,
+        onehop_injected=onehop_injected,
+        deep_clean=deep_clean,
+        deep_injected=deep_injected,
+        traffic=traffic,
+        sessions=sessions,
+        repro_second=repro_second,
+    )
+
+
+def acceptance(report: GraphSweepReport) -> Dict[str, object]:
+    """The checks ``record_bench`` commits alongside the data."""
+    amp = report.amplification()
+    attr = report.attribution()
+    cells = (
+        report.onehop_clean, report.onehop_injected,
+        report.deep_clean, report.deep_injected,
+    )
+    all_completed = all(cell.completed > 0 for cell in cells)
+    traced = report.deep_clean.tail_traces > 0 and (
+        report.deep_injected.tail_traces > 0
+    )
+    arrivals_ok = report.traffic.rel_err <= ARRIVALS_TOLERANCE
+    checks: Dict[str, object] = {
+        "cells_completed": all_completed,
+        "amplification_gate": AMPLIFICATION_GATE,
+        "amplification_ratio": amp["ratio"],
+        "amplification_ok": amp["ratio"] >= AMPLIFICATION_GATE,
+        "attribution_gate": ATTRIBUTION_GATE,
+        "tail_traced": traced,
+        "injected_share": attr["injected_share"],
+        "attribution_ok": attr["injected_share"] >= ATTRIBUTION_GATE,
+        "arrivals_tolerance": ARRIVALS_TOLERANCE,
+        "arrivals_rel_err": report.traffic.rel_err,
+        "arrivals_thinned": report.traffic.thinned,
+        "arrivals_ok": arrivals_ok,
+        "sessions_conserved": report.sessions.conserved,
+        "bit_reproducible": report.bit_reproducible,
+    }
+    checks["pass"] = bool(
+        all_completed
+        and traced
+        and checks["amplification_ok"]
+        and checks["attribution_ok"]
+        and arrivals_ok
+        and report.traffic.thinned > 0
+        and report.sessions.conserved
+        and report.bit_reproducible
+    )
+    return checks
+
+
+def format_graph_sweep(report: GraphSweepReport) -> str:
+    """Cell table, amplification verdict, attribution, traffic checks."""
+    amp = report.amplification()
+    attr = report.attribution()
+    rows = []
+    for cell in (
+        report.onehop_clean, report.onehop_injected,
+        report.deep_clean, report.deep_injected,
+    ):
+        rows.append((
+            cell.graph,
+            "injected" if cell.injected else "clean",
+            f"{cell.qps:g}",
+            cell.completed,
+            round(cell.e2e_p50_us),
+            round(cell.e2e_p99_us),
+            cell.traces or "-",
+        ))
+    out = [
+        f"service-graph amplification ({report.depth} tiers, "
+        f"{report.visits_per_query[report.injected_node]:g} storage reads "
+        f"per query vs. "
+        f"{onehop_visits(report):g} one hop away; Pareto "
+        f"p={report.intensity:g} scale={report.tail_scale_us:g}us "
+        f"alpha={report.tail_alpha:g} at "
+        f"{report.injected_node!r}):",
+        render_table(
+            ("graph", "faults", "QPS", "done", "p50 us", "p99 us", "traces"),
+            rows,
+        ),
+        "",
+        (
+            f"added p99: one-hop +{amp['added_p99_us_onehop']:.0f}us, "
+            f"deep +{amp['added_p99_us_deep']:.0f}us -> amplification "
+            f"{amp['ratio']:.2f}x (gate {AMPLIFICATION_GATE:g}x)"
+        ),
+        (
+            f"attribution: {attr['injected_share']:.1%} of added tail time "
+            f"on {attr['injected_machine']} (gate "
+            f"{ATTRIBUTION_GATE:.0%})"
+        ),
+        (
+            f"traffic: {report.traffic.sent} arrivals vs "
+            f"{report.traffic.expected_arrivals:.1f} expected "
+            f"(rel err {report.traffic.rel_err:.3f}, "
+            f"{report.traffic.thinned} thinned)"
+        ),
+        (
+            "sessions: "
+            + ", ".join(
+                f"{name} {int(info['completed'])} done "
+                f"(max in-flight {int(info['max_in_flight'])}/"
+                f"{int(info['clients'])})"
+                for name, info in report.sessions.classes.items()
+            )
+            + (" - conserved" if report.sessions.conserved else " - VIOLATED")
+        ),
+        "",
+        (
+            "reproducibility (deep injected cell, double run): "
+            + ("bit-identical" if report.bit_reproducible else "DIVERGED")
+        ),
+    ]
+    return "\n".join(out)
+
+
+def onehop_visits(report: GraphSweepReport) -> float:
+    """Storage reads per query in the one-hop baseline."""
+    graph = GraphConfig.from_dict(report.onehop_graph)
+    return graph.visits_per_query()[report.injected_node]
+
+
+def to_document(report: GraphSweepReport) -> dict:
+    """The JSON artifact (validates against bench_graph.schema.json)."""
+    checks = acceptance(report)
+    return {
+        "benchmark": (
+            f"service-graph tail amplification, {report.depth}-tier "
+            f"exemplar vs one hop ({report.queries_per_cell} queries/cell "
+            f"@ {report.qps:g} QPS), seed={report.seed}"
+        ),
+        "seed": report.seed,
+        "qps": report.qps,
+        "queries_per_cell": report.queries_per_cell,
+        "workload_queries": report.workload_queries,
+        "injection": {
+            "node": report.injected_node,
+            "leaf_index": INJECTED_LEAF_INDEX,
+            "intensity": report.intensity,
+            "tail_scale_us": report.tail_scale_us,
+            "tail_alpha": report.tail_alpha,
+        },
+        "graphs": {
+            "deep": report.deep_graph,
+            "onehop": report.onehop_graph,
+            "depth": report.depth,
+            "visits_per_query": report.visits_per_query,
+        },
+        "cells": {
+            "onehop_clean": asdict(report.onehop_clean),
+            "onehop_injected": asdict(report.onehop_injected),
+            "deep_clean": asdict(report.deep_clean),
+            "deep_injected": asdict(report.deep_injected),
+        },
+        "amplification": report.amplification(),
+        "attribution": report.attribution(),
+        "traffic": asdict(report.traffic),
+        "sessions": asdict(report.sessions),
+        "reproducibility": {
+            "bit_identical": report.bit_reproducible,
+            "first": asdict(report.deep_injected),
+            "second": asdict(report.repro_second),
+        },
+        "acceptance": checks,
+    }
+
+
+def record_bench(report: GraphSweepReport, path: str = BENCH_PATH) -> dict:
+    """Validate the artifact against the checked-in schema and write it."""
+    return runner.write_artifact(
+        to_document(report), path, schema="bench_graph.schema.json"
+    )
+
+
+#: Runner spec: ``usuite graph`` is this experiment.
+EXPERIMENT = runner.Experiment(
+    name="graph",
+    run=run_graph_sweep,
+    format=format_graph_sweep,
+    acceptance=acceptance,
+    to_document=to_document,
+    schema="bench_graph.schema.json",
+    bench_path=BENCH_PATH,
+)
+
+
+__all__ = [
+    "AMPLIFICATION_GATE", "ARRIVALS_TOLERANCE", "ATTRIBUTION_GATE",
+    "BENCH_PATH", "EXPERIMENT", "INJECTED_NODE", "INJECT_INTENSITY", "QPS",
+    "QUERIES_PER_CELL", "WORKLOAD_QUERIES", "GraphCell", "GraphSweepReport",
+    "SessionCell", "TrafficCell", "acceptance", "format_graph_sweep",
+    "injection_plan", "measure_graph_cell", "measure_session_cell",
+    "measure_traffic_cell", "record_bench", "run_graph_sweep", "to_document",
+    "traffic_curve",
+]

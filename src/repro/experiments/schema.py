@@ -112,4 +112,52 @@ def load_schema(name: str) -> Dict[str, Any]:
     return json.loads(path.read_text())
 
 
-__all__ = ["SchemaError", "load_schema", "validate"]
+def main(argv=None) -> int:
+    """CLI: validate an artifact file against a checked-in schema.
+
+    ``python -m repro.experiments.schema ARTIFACT --schema NAME`` is the
+    uniform check step every CI smoke job runs on the artifact its sweep
+    produced; ``--require-pass`` additionally demands the artifact's own
+    acceptance verdict (``acceptance.pass`` or top-level ``passed``) be
+    true, so a sweep can't ship a schema-valid but failing artifact.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.schema",
+        description="Validate a benchmark artifact against a checked-in schema.",
+    )
+    parser.add_argument("artifact", help="path to the JSON artifact")
+    parser.add_argument("--schema", required=True,
+                        help="schema file name under experiments/schemas/")
+    parser.add_argument("--require-pass", action="store_true",
+                        help="also require the artifact's acceptance verdict")
+    args = parser.parse_args(argv)
+
+    document = json.loads(Path(args.artifact).read_text())
+    try:
+        validate(document, load_schema(args.schema))
+    except SchemaError as err:
+        print(f"{args.artifact}: FAIL: {err}")
+        return 1
+    except FileNotFoundError as err:
+        print(f"error: {err}")
+        return 2
+    if args.require_pass:
+        verdict = document.get("acceptance", {}).get(
+            "pass", document.get("passed")
+        )
+        if verdict is not True:
+            print(f"{args.artifact}: FAIL: acceptance verdict is {verdict!r}")
+            return 1
+    print(f"{args.artifact}: ok ({args.schema})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    import sys
+
+    sys.exit(main())
+
+
+__all__ = ["SchemaError", "load_schema", "main", "validate"]

@@ -1,0 +1,66 @@
+"""Committed exemplar graphs for experiments and tests.
+
+:func:`exemplar_graph` is a DeathStarBench-social-network-shaped DAG
+(arXiv:1905.11055): five tiers deep on its longest path, with fan-in at
+the composer, per-edge fan-out that multiplies into 16 storage lookups
+per client query (2 timeline renders × 2 social-graph walks × 4 shard
+reads), and an asynchronous fire-and-forget analytics edge off the
+front-end.  :func:`onehop_graph` is the matching μSuite-shaped baseline:
+the same front-end and the same storage node, one hop apart — the pair
+the graph sweep uses to measure how depth amplifies a single slow hop.
+
+In both graphs the storage node is terminal index 0 (declaration order),
+so one :class:`~repro.faults.LeafSlowdown` plan targets the same "deep
+leaf" in either topology.
+"""
+
+from __future__ import annotations
+
+from repro.graph.config import GraphConfig, GraphEdge, GraphNode
+
+
+def exemplar_graph(n_queries: int = 2000) -> GraphConfig:
+    """The 5-tier social-network exemplar (8 nodes, one async edge)."""
+    return GraphConfig(
+        name="socialnet",
+        root="frontend",
+        n_queries=n_queries,
+        nodes=(
+            GraphNode(name="frontend", service_us=15.0, merge_us=5.0, cores=2),
+            GraphNode(name="compose", service_us=25.0, merge_us=6.0, cores=2),
+            GraphNode(name="timeline", service_us=20.0, merge_us=5.0, cores=2),
+            GraphNode(name="social", service_us=18.0, merge_us=5.0, cores=2),
+            # Terminal index 0: the deep storage tier the sweep injects at.
+            GraphNode(name="store", service_us=30.0, cores=4),
+            GraphNode(name="media", service_us=30.0, cores=2),
+            GraphNode(name="user", service_us=25.0, cores=2),
+            GraphNode(name="analytics", service_us=40.0, cores=1),
+        ),
+        edges=(
+            GraphEdge(src="frontend", dst="compose"),
+            GraphEdge(src="frontend", dst="analytics", mode="async"),
+            GraphEdge(src="compose", dst="timeline", fanout=2),
+            GraphEdge(src="compose", dst="media"),
+            GraphEdge(src="compose", dst="user"),
+            GraphEdge(src="timeline", dst="social", fanout=2),
+            GraphEdge(src="social", dst="store", fanout=4),
+        ),
+    )
+
+
+def onehop_graph(n_queries: int = 2000) -> GraphConfig:
+    """The μSuite-shaped one-hop baseline: gateway → 4 storage reads."""
+    return GraphConfig(
+        name="onehop",
+        root="gateway",
+        n_queries=n_queries,
+        nodes=(
+            GraphNode(name="gateway", service_us=15.0, merge_us=5.0, cores=2),
+            # Same storage node as the exemplar's, one hop from the root.
+            GraphNode(name="store", service_us=30.0, cores=4),
+        ),
+        edges=(GraphEdge(src="gateway", dst="store", fanout=4),),
+    )
+
+
+__all__ = ["exemplar_graph", "onehop_graph"]

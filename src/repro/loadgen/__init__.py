@@ -15,11 +15,27 @@ we:
 
 from repro.loadgen.client import ClosedLoopLoadGen, OpenLoopLoadGen
 from repro.loadgen.source import CallableSource, CyclingSource, QuerySource
+from repro.loadgen.traffic import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+    RateCurve,
+    SessionClass,
+    SessionLoadGen,
+    VariableRateLoadGen,
+)
 
 __all__ = [
     "CallableSource",
     "ClosedLoopLoadGen",
+    "ConstantRate",
     "CyclingSource",
+    "DiurnalRate",
+    "FlashCrowd",
     "OpenLoopLoadGen",
     "QuerySource",
+    "RateCurve",
+    "SessionClass",
+    "SessionLoadGen",
+    "VariableRateLoadGen",
 ]

@@ -51,7 +51,7 @@ class _ClientBase:
         self.tracer = tracer
         fabric.register(self.name, self._on_packet)
 
-    def _send_query(self, client_start: float) -> None:
+    def _send_query(self, client_start: float) -> RpcRequest:
         payload, size_bytes = self.source.next_query()
         request = RpcRequest(
             method="query",
@@ -64,6 +64,7 @@ class _ClientBase:
             request.trace = self.tracer.maybe_trace(request.request_id, self.sim.now)
         self.sent += 1
         self.fabric.send(self.address, self.target, request, size_bytes)
+        return request
 
     def _on_packet(self, packet: Packet) -> None:
         response = packet.payload

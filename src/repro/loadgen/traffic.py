@@ -1,0 +1,330 @@
+"""Realistic traffic models: rate curves, flash crowds, session mixes.
+
+The paper's open-loop generator offers a *constant* Poisson load; real
+front-end traffic is anything but.  This module adds:
+
+* composable **rate curves** (:class:`ConstantRate`, :class:`DiurnalRate`,
+  :class:`FlashCrowd`) with analytic ``expected_arrivals`` integrals, so
+  tests and sweeps can gate realized arrival counts against closed form;
+* :class:`VariableRateLoadGen`, a non-homogeneous Poisson open loop via
+  Lewis–Shedler thinning — still coordinated-omission-immune, still
+  bit-reproducible (every draw comes from the client's named ``sim.rng``
+  stream);
+* :class:`SessionLoadGen`, a closed loop over a heterogeneous mix of
+  :class:`SessionClass`\\ es, each with its own client count and
+  exponential think time on its own named stream.  In-flight count per
+  class is conserved at its client count by construction (each client
+  holds exactly one outstanding query or one pending think timer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.net.fabric import Fabric
+from repro.loadgen.client import _ClientBase
+from repro.sim.core import Simulation
+from repro.sim.rng import RngStreams, exponential
+from repro.telemetry import Telemetry
+
+Address = Tuple[str, int]
+
+
+class RateCurve:
+    """An offered-load profile λ(t), in queries per second."""
+
+    def rate(self, t_us: float) -> float:
+        """Instantaneous rate at simulation time ``t_us``, in QPS."""
+        raise NotImplementedError
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate` over all time (the thinning
+        envelope — it must dominate, it need not be tight)."""
+        raise NotImplementedError
+
+    def expected_arrivals(self, t0_us: float, t1_us: float) -> float:
+        """The integral of λ over ``[t0_us, t1_us]``, in queries."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateCurve):
+    """The paper's fixed offered load."""
+
+    qps: float
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive: {self.qps}")
+
+    def rate(self, t_us: float) -> float:
+        return self.qps
+
+    def peak_rate(self) -> float:
+        return self.qps
+
+    def expected_arrivals(self, t0_us: float, t1_us: float) -> float:
+        return self.qps * max(t1_us - t0_us, 0.0) / 1e6
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RateCurve):
+    """A sinusoidal day/night curve:
+    ``λ(t) = base_qps · (1 + amplitude · sin(2π t / period_us + phase))``."""
+
+    base_qps: float
+    amplitude: float = 0.5
+    period_us: float = 86_400e6
+    phase_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0:
+            raise ValueError(f"base_qps must be positive: {self.base_qps}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1] so the rate stays "
+                f"non-negative: {self.amplitude}"
+            )
+        if self.period_us <= 0:
+            raise ValueError(f"period_us must be positive: {self.period_us}")
+
+    def _angle(self, t_us: float) -> float:
+        return 2.0 * math.pi * t_us / self.period_us + self.phase_rad
+
+    def rate(self, t_us: float) -> float:
+        return self.base_qps * (1.0 + self.amplitude * math.sin(self._angle(t_us)))
+
+    def peak_rate(self) -> float:
+        return self.base_qps * (1.0 + self.amplitude)
+
+    def expected_arrivals(self, t0_us: float, t1_us: float) -> float:
+        if t1_us <= t0_us:
+            return 0.0
+        # ∫ base·(1 + A·sin(ωt + φ)) dt, with t in seconds (λ is per s).
+        linear = self.base_qps * (t1_us - t0_us) / 1e6
+        omega_per_us = 2.0 * math.pi / self.period_us
+        wiggle = (
+            self.base_qps * self.amplitude / omega_per_us
+            * (math.cos(self._angle(t0_us)) - math.cos(self._angle(t1_us)))
+            / 1e6
+        )
+        return linear + wiggle
+
+
+@dataclass(frozen=True)
+class FlashCrowd(RateCurve):
+    """Multiply any base curve by ``multiplier`` inside a burst window."""
+
+    base: RateCurve
+    start_us: float
+    duration_us: float
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"duration_us must be >= 0: {self.duration_us}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1 (use the base curve for dips): "
+                f"{self.multiplier}"
+            )
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    def rate(self, t_us: float) -> float:
+        base = self.base.rate(t_us)
+        if self.start_us <= t_us < self.end_us:
+            return base * self.multiplier
+        return base
+
+    def peak_rate(self) -> float:
+        return self.base.peak_rate() * self.multiplier
+
+    def expected_arrivals(self, t0_us: float, t1_us: float) -> float:
+        total = self.base.expected_arrivals(t0_us, t1_us)
+        lo = max(t0_us, self.start_us)
+        hi = min(t1_us, self.end_us)
+        if hi > lo:
+            total += (self.multiplier - 1.0) * self.base.expected_arrivals(lo, hi)
+        return total
+
+
+class VariableRateLoadGen(_ClientBase):
+    """Open-loop arrivals from a non-homogeneous Poisson process.
+
+    Lewis–Shedler thinning: candidate arrivals come from a homogeneous
+    Poisson process at the curve's peak rate; each candidate survives
+    with probability ``λ(t)/peak``.  With a :class:`ConstantRate` curve
+    nothing is thinned and this is exactly the paper's open loop (two
+    stream draws per arrival instead of one, so the arrival *sequence*
+    differs from :class:`~repro.loadgen.client.OpenLoopLoadGen`'s at the
+    same seed, but the process law is identical).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        fabric: Fabric,
+        telemetry: Telemetry,
+        rng: RngStreams,
+        target: Address,
+        source,
+        curve: RateCurve,
+        name: Optional[str] = None,
+        tracer=None,
+    ):
+        super().__init__(sim, fabric, telemetry, rng, target, source, name, tracer)
+        self.curve = curve
+        self._peak = curve.peak_rate()
+        if self._peak <= 0:
+            raise ValueError(f"curve peak rate must be positive: {self._peak}")
+        self._mean_gap_us = 1e6 / self._peak
+        self._stopped = False
+        self.thinned = 0
+        self.started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin issuing queries."""
+        self.started_at = self.sim.now
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop issuing (in-flight queries still complete)."""
+        self._stopped = True
+
+    def expected_sent(self) -> float:
+        """Analytic E[sent] since :meth:`start`, for arrival-count gates."""
+        if self.started_at is None:
+            return 0.0
+        return self.curve.expected_arrivals(self.started_at, self.sim.now)
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        gap = exponential(self.rng, self._mean_gap_us)
+        self.sim.defer_in(gap, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        # Thinning: accept with probability λ(now)/peak.
+        if self.rng.random() * self._peak <= self.curve.rate(self.sim.now):
+            self._send_query(client_start=self.sim.now)
+        else:
+            self.thinned += 1
+        self._schedule_next()
+
+
+@dataclass(frozen=True)
+class SessionClass:
+    """One population of closed-loop clients sharing a think time."""
+
+    name: str
+    clients: int
+    think_mean_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("session class needs a non-empty name")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1: {self.clients}")
+        if self.think_mean_us < 0:
+            raise ValueError(
+                f"think_mean_us must be >= 0: {self.think_mean_us}"
+            )
+
+
+class SessionLoadGen(_ClientBase):
+    """Closed-loop load from a heterogeneous mix of session classes.
+
+    Each client sends a query, waits for the reply, thinks for an
+    exponential time on its class's named stream, and repeats — so each
+    class's in-flight count never exceeds its client count (asserted by
+    tests/test_loadgen_traffic.py).  Think times come from per-class
+    streams, so adding a class never perturbs another's sequence.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        fabric: Fabric,
+        telemetry: Telemetry,
+        rng: RngStreams,
+        target: Address,
+        source,
+        classes: Sequence[SessionClass],
+        name: Optional[str] = None,
+        tracer=None,
+    ):
+        super().__init__(sim, fabric, telemetry, rng, target, source, name, tracer)
+        if not classes:
+            raise ValueError("SessionLoadGen needs at least one session class")
+        seen = set()
+        for cls in classes:
+            if cls.name in seen:
+                raise ValueError(f"duplicate session class {cls.name!r}")
+            seen.add(cls.name)
+        self.classes = list(classes)
+        self._stopped = False
+        self._think_rng = {
+            cls.name: rng.py(f"loadgen:{self.name}:{cls.name}")
+            for cls in self.classes
+        }
+        self._req_class: Dict[int, str] = {}
+        self.in_flight: Dict[str, int] = {cls.name: 0 for cls in self.classes}
+        self.max_in_flight: Dict[str, int] = {cls.name: 0 for cls in self.classes}
+        self.completed_by_class: Dict[str, int] = {
+            cls.name: 0 for cls in self.classes
+        }
+
+    def start(self) -> None:
+        """Launch every client of every class."""
+        for cls in self.classes:
+            for _ in range(cls.clients):
+                self._send_for(cls)
+
+    def stop(self) -> None:
+        """Stop re-issuing queries (pending thinks fizzle)."""
+        self._stopped = True
+
+    def _send_for(self, cls: SessionClass) -> None:
+        request = self._send_query(client_start=self.sim.now)
+        self._req_class[request.request_id] = cls.name
+        count = self.in_flight[cls.name] + 1
+        self.in_flight[cls.name] = count
+        if count > self.max_in_flight[cls.name]:
+            self.max_in_flight[cls.name] = count
+
+    def _think_done(self, cls: SessionClass) -> None:
+        if not self._stopped:
+            self._send_for(cls)
+
+    def _on_response(self, response) -> None:
+        cls_name = self._req_class.pop(response.request_id, None)
+        if cls_name is None:
+            return
+        self.in_flight[cls_name] -= 1
+        self.completed_by_class[cls_name] += 1
+        if self._stopped:
+            return
+        cls = next(c for c in self.classes if c.name == cls_name)
+        if cls.think_mean_us > 0:
+            think = exponential(self._think_rng[cls_name], cls.think_mean_us)
+            self.sim.defer_in(think, self._think_done, cls)
+        else:
+            self._send_for(cls)
+
+
+__all__ = [
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowd",
+    "RateCurve",
+    "SessionClass",
+    "SessionLoadGen",
+    "VariableRateLoadGen",
+]

@@ -10,7 +10,7 @@ CPU time the runtime charges to the simulated core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 
@@ -21,6 +21,13 @@ class FanoutPlan:
     compute_us: float
     # (leaf index, sub-request payload, wire size in bytes) triples.
     subrequests: List[Tuple[int, Any, int]]
+    # Fire-and-forget sub-requests (same triples): sent on the request
+    # path but never awaited — the merge runs without them and their
+    # replies are dropped on arrival.  Models async side-effect edges
+    # (logging, analytics, cache warming) in service graphs.  Empty by
+    # default: nothing extra is sent and pre-existing goldens stay
+    # bit-identical.
+    fire_and_forget: List[Tuple[int, Any, int]] = field(default_factory=list)
 
 
 @dataclass

@@ -381,6 +381,7 @@ class MidTierRuntime(_RuntimeBase):
         self.retries_sent = 0
         self.partial_replies = 0
         self.late_responses = 0
+        self.async_subs_sent = 0
         self._leaf_lat: deque = deque(maxlen=_HEDGE_WINDOW)
         self._leaf_obs = 0
         self._hedge_delay_cache: Optional[float] = None
@@ -482,6 +483,7 @@ class MidTierRuntime(_RuntimeBase):
             request_id=request.request_id,
             payload=payload,
             size_bytes=size_bytes,
+            parent_id=request.parent_id,
             client_start=request.client_start,
         )
         reply.partial = partial
@@ -515,6 +517,7 @@ class MidTierRuntime(_RuntimeBase):
             # Degenerate fan-out (e.g. LSH found no candidates): merge empty.
             entry = _PendingRequest(request, expected=0, arrival=arrival)
             entry.cache_key = cache_key
+            yield from self._send_async(plan)
             entry.request_path_us = self.machine.sim.now - arrival
             yield from self._finish(entry, [], last_arrival=self.machine.sim.now)
             return
@@ -546,6 +549,7 @@ class MidTierRuntime(_RuntimeBase):
                 entry.sent_at[slot] = self.machine.sim.now
             self.subrequests_sent += 1
             yield from self._send_sub(leaf_index, sub, size_bytes)
+        yield from self._send_async(plan)
         # Responses may already have arrived (sends advance time), so arm
         # timers only for still-unanswered slots, and never after finish.
         if policy is not None and not entry.finished:
@@ -610,7 +614,8 @@ class MidTierRuntime(_RuntimeBase):
         if entry is None:
             # Completed (or deadline-degraded) parent: a late original or a
             # losing hedge/retry duplicate.  Dropped, never merged twice.
-            if self.tail_policy is not None:
+            # (A parent-less reply is a fire-and-forget ack, not late.)
+            if self.tail_policy is not None and response.parent_id is not None:
                 self.late_responses += 1
                 self.machine.telemetry.incr(f"late_responses:{self.machine.name}")
         elif self.tail_policy is None:
@@ -751,6 +756,25 @@ class MidTierRuntime(_RuntimeBase):
         entry.dup_ids.add(sub.request_id)
         yield from self._send_sub(leaf_index, sub, size_bytes)
 
+    def _send_async(self, plan):
+        """Generator: the plan's fire-and-forget sub-requests, if any.
+
+        Async subs carry no parent id (their replies drop in
+        :meth:`_countdown`), no deadline, and no trace — a side-effect
+        branch is off the request's critical path by construction.  The
+        default empty list sends nothing and schedules nothing.
+        """
+        for leaf_index, payload, size_bytes in plan.fire_and_forget:
+            sub = RpcRequest(
+                method="leaf",
+                payload=payload,
+                size_bytes=size_bytes,
+                reply_to=self.client_sock.address,
+            )
+            self.async_subs_sent += 1
+            self.machine.telemetry.incr(f"async_subs:{self.machine.name}")
+            yield from self._send_sub(leaf_index, sub, size_bytes)
+
     def _send_sub(self, leaf_index: int, sub: RpcRequest, size_bytes: int):
         """Generator: one leaf sub-request, coalesced when batching is on.
 
@@ -798,6 +822,10 @@ class MidTierRuntime(_RuntimeBase):
             request_id=request.request_id,
             payload=merged.payload,
             size_bytes=merged.size_bytes,
+            # Echoed so a *parent* mid-tier (repro.graph nests runtimes)
+            # can match this reply to its fan-out slot; None for requests
+            # that came straight from a load generator.
+            parent_id=request.parent_id,
             client_start=request.client_start,
         )
         if entry.partial:

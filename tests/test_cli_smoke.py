@@ -239,3 +239,18 @@ def test_cache_schema_rejects_malformed_artifact():
             },
             schema,
         )
+
+
+def test_cli_graph_rejects_bad_params(capsys):
+    # Too few queries for a usable p99 -> UsageError -> exit 2.
+    assert main(["graph", "--queries", "50"]) == 2
+    assert "queries" in capsys.readouterr().err
+    # Intensity outside (0, 1] -> exit 2.
+    assert main(["graph", "--intensity", "1.5"]) == 2
+    assert "intensity" in capsys.readouterr().err
+
+
+def test_graph_schema_rejects_malformed_artifact():
+    schema = load_schema("bench_graph.schema.json")
+    with pytest.raises(SchemaError, match="missing required property"):
+        validate({"benchmark": "truncated"}, schema)
