@@ -1,0 +1,502 @@
+"""Autoscale sweep: closed-loop control vs the best static configuration
+(``usuite autoscale``).
+
+The scenario is the one ROADMAP item 2 prescribes: a **diurnal** offered
+load (sinusoidal, trough at the start of the measured window, peak in
+the middle) plus a **CPU antagonist** on every mid-tier machine
+(:class:`~repro.faults.plan.MidTierPressure` hog threads — the paper's
+"interference from colocated work" failure mode).  The mid-tier is made
+the bottleneck exactly as in :mod:`~repro.experiments.scale_sweep`
+(one mid-tier core, 80 µs leaf target), so replica count is the knob
+that matters.
+
+The sweep measures a **static grid** — 1, 2, 3 fixed replicas, controller
+off — and one **controller cell**: a warm pool of 3 replicas, 1 admitting
+at t=0, driven by the threshold/hysteresis policy on windowed e2e p99,
+with hedge-percentile and batch-size retuning on overload.  Two gates:
+
+* **p99 recovery**: the controller's p99 must recover at least
+  ``RECOVERY_GATE`` of the gap from the *worst* static configuration's
+  p99 down to the *best* static configuration's p99;
+* **cost**: at ≥ ``SAVINGS_GATE`` (20%) fewer replica-seconds than that
+  best static configuration, integrated over the measured window by the
+  controller's :class:`~repro.control.account.ReplicaSecondsAccount`
+  (admitting + draining replicas bill; warm parked replicas do not).
+
+Plus the suite-wide reproducibility bar: the controller cell runs twice
+from scratch and must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.control import ControlConfig
+from repro.experiments import runner
+from repro.experiments.tables import render_table
+from repro.faults.plan import FaultPlan, MidTierPressure
+from repro.loadgen.client import E2E_HIST
+from repro.loadgen.traffic import DiurnalRate, VariableRateLoadGen
+from repro.rpc.policy import TailPolicy
+from repro.suite import ServiceScale
+from repro.suite.config import BatchConfig
+
+SWEEP_SERVICE = "hdsearch"
+#: Same bottleneck shaping as the scale sweep: one mid-tier core, fast
+#: leaves — replica count is the knob under test.
+SWEEP_LEAF_US = 80.0
+SWEEP_MIDTIER_CORES = 1
+
+#: Diurnal curve: trough ~1.8 K QPS (one replica coasts), peak ~8.6 K QPS
+#: (past the 1-replica saturation of ~5.9 K measured in BENCH_scale.json).
+BASE_QPS = 5_200.0
+AMPLITUDE = 0.65
+
+#: The antagonist: hog threads on every mid-tier machine.
+ANTAGONIST = MidTierPressure(hog_threads=2, busy_us=150.0, idle_mean_us=300.0)
+
+#: Static grid (controller off) the controller is judged against.
+STATIC_REPLICAS: Tuple[int, ...] = (1, 2, 3)
+
+WARMUP_US = 200_000.0
+DRAIN_US = 50_000.0
+DEFAULT_DURATION_US = 1_600_000.0
+DEFAULT_TICK_US = 20_000.0
+DEFAULT_WINDOW_US = 20_000.0
+
+#: Tail policy for every cell (static and controlled): auto-percentile
+#: hedging with a deadline far above the tail, so nothing is shed and the
+#: controller's hedge retuning is observable in like-for-like runs.
+SWEEP_TAIL_POLICY = TailPolicy(deadline_us=50_000.0, hedge_percentile=95.0)
+#: Leaf batching for every cell; the controller widens it on overload.
+SWEEP_BATCH = BatchConfig(enabled=True, max_batch=4, max_wait_us=40.0)
+
+#: Controller knobs (threshold/hysteresis on windowed e2e p99).
+P99_HIGH_US = 2_600.0
+P99_LOW_US = 900.0
+COOLDOWN_US = 100_000.0
+HEDGE_PCT_OVERLOAD = 99.0
+HEDGE_PCT_BASELINE = 95.0
+BATCH_MAX_OVERLOAD = 8
+BATCH_MAX_BASELINE = 4
+
+#: Default artifact path, relative to the repository root / CWD.
+BENCH_PATH = "BENCH_autoscale.json"
+
+#: Acceptance gates (see module docstring).
+RECOVERY_GATE = 0.75
+SAVINGS_GATE = 0.20
+
+
+def _sweep_overrides(scale: ServiceScale, service: str) -> Dict[str, object]:
+    leaf_us = {**scale.target_leaf_service_us, service: SWEEP_LEAF_US}
+    return {
+        "batch": SWEEP_BATCH,
+        "target_leaf_service_us": leaf_us,
+    }
+
+
+def static_scale(
+    replicas: int,
+    scale: ServiceScale | str = "small",
+    service: str = SWEEP_SERVICE,
+) -> ServiceScale:
+    """One static-grid configuration: ``replicas`` fixed, controller off."""
+    scale = runner.resolve_scale(scale)
+    return scale.with_overrides(
+        topology=replace(
+            scale.topology,
+            midtier_replicas=replicas,
+            midtier_cores=SWEEP_MIDTIER_CORES,
+        ),
+        **_sweep_overrides(scale, service),
+    )
+
+
+def controlled_scale(
+    max_replicas: int,
+    tick_us: float = DEFAULT_TICK_US,
+    window_us: float = DEFAULT_WINDOW_US,
+    scale: ServiceScale | str = "small",
+    service: str = SWEEP_SERVICE,
+) -> ServiceScale:
+    """The controller cell: warm pool of ``max_replicas``, 1 admitting."""
+    scale = runner.resolve_scale(scale)
+    return scale.with_overrides(
+        topology=replace(scale.topology, midtier_cores=SWEEP_MIDTIER_CORES),
+        control=ControlConfig(
+            enabled=True,
+            tick_us=tick_us,
+            window_us=window_us,
+            policy="threshold",
+            min_replicas=1,
+            max_replicas=max_replicas,
+            initial_replicas=1,
+            p99_high_us=P99_HIGH_US,
+            p99_low_us=P99_LOW_US,
+            cooldown_us=COOLDOWN_US,
+            hedge_percentile_overload=HEDGE_PCT_OVERLOAD,
+            hedge_percentile_baseline=HEDGE_PCT_BASELINE,
+            batch_max_overload=BATCH_MAX_OVERLOAD,
+            batch_max_baseline=BATCH_MAX_BASELINE,
+        ),
+        **_sweep_overrides(scale, service),
+    )
+
+
+@dataclass
+class AutoscaleCell:
+    """One measured diurnal+antagonist run."""
+
+    label: str
+    replicas: int  # fixed count, or the warm-pool max for the controller
+    sent: int
+    completed: int
+    p50_us: float
+    p99_us: float
+    mean_us: float
+    replica_seconds: float
+    thinned: int
+    expected_sent: float
+    controller: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class AutoscaleReport:
+    """The static grid, the controller cell, and its double run."""
+
+    service: str
+    scale: str
+    seed: int
+    duration_us: float
+    tick_us: float
+    window_us: float
+    base_qps: float
+    amplitude: float
+    statics: List[AutoscaleCell] = field(default_factory=list)
+    controller_first: Optional[AutoscaleCell] = None
+    controller_second: Optional[AutoscaleCell] = None
+
+    @property
+    def controller_cell(self) -> AutoscaleCell:
+        return self.controller_first
+
+    @property
+    def bit_reproducible(self) -> bool:
+        return asdict(self.controller_first) == asdict(self.controller_second)
+
+    def best_static(self) -> AutoscaleCell:
+        return min(self.statics, key=lambda cell: cell.p99_us)
+
+    def worst_static(self) -> AutoscaleCell:
+        return max(self.statics, key=lambda cell: cell.p99_us)
+
+    @property
+    def p99_recovery(self) -> float:
+        """Fraction of the worst→best static p99 gap the controller closes."""
+        worst = self.worst_static().p99_us
+        best = self.best_static().p99_us
+        ctrl = self.controller_cell.p99_us
+        if worst <= best:
+            return 1.0 if ctrl <= best else 0.0
+        return (worst - ctrl) / (worst - best)
+
+    @property
+    def replica_seconds_savings(self) -> float:
+        """1 − controller cost / best-static cost, over the window."""
+        best = self.best_static().replica_seconds
+        if best <= 0:
+            return 0.0
+        return 1.0 - self.controller_cell.replica_seconds / best
+
+
+def diurnal_curve(
+    base_qps: float,
+    amplitude: float,
+    duration_us: float,
+    warmup_us: float = WARMUP_US,
+) -> DiurnalRate:
+    """One full day over the measured window, trough at window start.
+
+    The phase shift puts sin = −1 at ``warmup_us`` (window open), so the
+    window sees trough → peak → trough and the controller must both scale
+    out and scale back in.
+    """
+    period = duration_us
+    phase = -math.pi / 2.0 - 2.0 * math.pi * warmup_us / period
+    return DiurnalRate(
+        base_qps=base_qps,
+        amplitude=amplitude,
+        period_us=period,
+        phase_rad=phase,
+    )
+
+
+def measure_cell(
+    label: str,
+    scale_cfg: ServiceScale,
+    replicas: int,
+    base_qps: float = BASE_QPS,
+    amplitude: float = AMPLITUDE,
+    service: str = SWEEP_SERVICE,
+    seed: int = 0,
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = WARMUP_US,
+) -> AutoscaleCell:
+    """One diurnal+antagonist run of either kind of configuration."""
+    faults = FaultPlan(midtier_pressure=ANTAGONIST)
+    cluster, service_handle = runner.build_cluster(
+        service, scale_cfg, seed=seed,
+        tail_policy=SWEEP_TAIL_POLICY, faults=faults,
+    )
+    curve = diurnal_curve(base_qps, amplitude, duration_us, warmup_us)
+    gen = VariableRateLoadGen(
+        cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
+        target=service_handle.target_address,
+        source=service_handle.make_source(),
+        curve=curve,
+    )
+    start = cluster.sim.now
+    gen.start()
+    cluster.run(until=start + warmup_us)
+    window_start = cluster.sim.now
+    cluster.telemetry.open_window(window_start)
+    sent_before, completed_before = gen.sent, gen.completed
+    cluster.run(until=start + warmup_us + duration_us)
+    window_end = cluster.sim.now
+    sent = gen.sent - sent_before
+    completed = gen.completed - completed_before
+    gen.stop()
+    cluster.run(until=window_end + DRAIN_US)
+    e2e = cluster.telemetry.hist(E2E_HIST)
+    controller_stats: Optional[Dict[str, object]] = None
+    if cluster.controllers:
+        controller = cluster.controllers[0]
+        replica_seconds = (
+            controller.account.total(window_end)
+            - controller.account.total(window_start)
+        )
+        controller_stats = controller.stats()
+    else:
+        replica_seconds = replicas * duration_us / 1e6
+    cell = AutoscaleCell(
+        label=label,
+        replicas=replicas,
+        sent=sent,
+        completed=completed,
+        p50_us=e2e.percentile(50),
+        p99_us=e2e.percentile(99),
+        mean_us=e2e.mean,
+        replica_seconds=replica_seconds,
+        thinned=gen.thinned,
+        expected_sent=curve.expected_arrivals(window_start, window_end),
+        controller=controller_stats,
+    )
+    cluster.fabric.unregister(gen.name)
+    cluster.shutdown()
+    return cell
+
+
+def run_autoscale_sweep(
+    service: str = SWEEP_SERVICE,
+    scale: str = "small",
+    seed: int = 0,
+    base_qps: float = BASE_QPS,
+    amplitude: float = AMPLITUDE,
+    duration_us: float = DEFAULT_DURATION_US,
+    tick_us: float = DEFAULT_TICK_US,
+    window_us: float = DEFAULT_WINDOW_US,
+    static_replicas: Iterable[int] = STATIC_REPLICAS,
+) -> AutoscaleReport:
+    """The full grid plus the controller cell, run twice."""
+    if base_qps <= 0:
+        raise runner.UsageError(f"base-qps must be positive: {base_qps}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise runner.UsageError(f"amplitude must be in [0, 1]: {amplitude}")
+    if duration_us <= 0:
+        raise runner.UsageError(f"duration-us must be positive: {duration_us}")
+    if tick_us <= 0:
+        raise runner.UsageError(f"tick-us must be positive: {tick_us}")
+    if window_us <= 0:
+        raise runner.UsageError(f"window-us must be positive: {window_us}")
+    static_replicas = sorted(set(static_replicas))
+    if not static_replicas or static_replicas[0] < 1:
+        raise runner.UsageError(
+            f"static replica counts must be >= 1: {static_replicas}"
+        )
+    report = AutoscaleReport(
+        service=service,
+        scale=scale if isinstance(scale, str) else scale.name,
+        seed=seed,
+        duration_us=duration_us,
+        tick_us=tick_us,
+        window_us=window_us,
+        base_qps=base_qps,
+        amplitude=amplitude,
+    )
+    for n in static_replicas:
+        cfg = static_scale(n, scale=scale, service=service)
+        report.statics.append(
+            measure_cell(
+                f"static-{n}", cfg, n,
+                base_qps=base_qps, amplitude=amplitude, service=service,
+                seed=seed, duration_us=duration_us,
+            )
+        )
+    max_replicas = max(static_replicas)
+    ctrl_cfg = controlled_scale(
+        max_replicas, tick_us=tick_us, window_us=window_us,
+        scale=scale, service=service,
+    )
+    # Same label both times: the double run must be asdict-identical.
+    for _ in range(2):
+        cell = measure_cell(
+            "controller", ctrl_cfg, max_replicas,
+            base_qps=base_qps, amplitude=amplitude, service=service,
+            seed=seed, duration_us=duration_us,
+        )
+        if report.controller_first is None:
+            report.controller_first = cell
+        else:
+            report.controller_second = cell
+    return report
+
+
+def acceptance(report: AutoscaleReport) -> Dict[str, object]:
+    """The checks ``record_bench`` commits alongside the data."""
+    recovery = report.p99_recovery
+    savings = report.replica_seconds_savings
+    checks = {
+        "worst_static_p99_us": round(report.worst_static().p99_us, 1),
+        "best_static_p99_us": round(report.best_static().p99_us, 1),
+        "best_static_label": report.best_static().label,
+        "controller_p99_us": round(report.controller_cell.p99_us, 1),
+        "p99_recovery": round(recovery, 4),
+        "recovery_gate": RECOVERY_GATE,
+        "best_static_replica_seconds": round(
+            report.best_static().replica_seconds, 4
+        ),
+        "controller_replica_seconds": round(
+            report.controller_cell.replica_seconds, 4
+        ),
+        "replica_seconds_savings": round(savings, 4),
+        "savings_gate": SAVINGS_GATE,
+        "scale_ups": report.controller_cell.controller["scale_ups"],
+        "scale_downs": report.controller_cell.controller["scale_downs"],
+        "bit_reproducible": report.bit_reproducible,
+    }
+    checks["pass"] = bool(
+        recovery >= RECOVERY_GATE
+        and savings >= SAVINGS_GATE
+        and report.bit_reproducible
+    )
+    return checks
+
+
+def format_autoscale(report: AutoscaleReport) -> str:
+    """The sweep as a cost/latency table plus the controller's timeline."""
+    rows = []
+    for cell in report.statics + [report.controller_cell]:
+        rows.append(
+            (
+                cell.label,
+                cell.completed,
+                round(cell.p50_us),
+                round(cell.p99_us),
+                f"{cell.replica_seconds:.3f}",
+            )
+        )
+    out = [
+        f"diurnal ({report.base_qps:g} QPS base, amplitude "
+        f"{report.amplitude:g}) + mid-tier antagonist:",
+        render_table(
+            ("cell", "done", "p50 us", "p99 us", "replica-s"), rows
+        ),
+    ]
+    ctrl = report.controller_cell.controller or {}
+    events = ctrl.get("scale_events", [])
+    if events:
+        out.append("")
+        out.append("controller scale events (t_us, direction, admitting):")
+        out.append(
+            "  " + "; ".join(
+                f"{t / 1e3:.0f}ms {kind}->{n}" for t, kind, n in events
+            )
+        )
+    out.append("")
+    out.append(
+        f"p99 recovery {report.p99_recovery:.1%} "
+        f"(gate {RECOVERY_GATE:.0%}), replica-seconds savings "
+        f"{report.replica_seconds_savings:.1%} (gate {SAVINGS_GATE:.0%}), "
+        + ("bit-identical" if report.bit_reproducible else "DIVERGED")
+    )
+    return "\n".join(out)
+
+
+def to_document(report: AutoscaleReport) -> dict:
+    """The JSON artifact (validates against bench_autoscale.schema.json)."""
+    checks = acceptance(report)
+    return {
+        "benchmark": (
+            f"closed-loop autoscaling on {report.service}, "
+            f"scale={report.scale} (midtier_cores={SWEEP_MIDTIER_CORES}, "
+            f"leaf target={SWEEP_LEAF_US:g}us), seed={report.seed}"
+        ),
+        "service": report.service,
+        "scale": report.scale,
+        "seed": report.seed,
+        "duration_us": report.duration_us,
+        "tick_us": report.tick_us,
+        "window_us": report.window_us,
+        "traffic": {
+            "curve": "diurnal",
+            "base_qps": report.base_qps,
+            "amplitude": report.amplitude,
+            "period_us": report.duration_us,
+        },
+        "antagonist": {
+            "kind": "midtier_pressure",
+            "hog_threads": ANTAGONIST.hog_threads,
+            "busy_us": ANTAGONIST.busy_us,
+            "idle_mean_us": ANTAGONIST.idle_mean_us,
+        },
+        "control": {
+            "policy": "threshold",
+            "p99_high_us": P99_HIGH_US,
+            "p99_low_us": P99_LOW_US,
+            "cooldown_us": COOLDOWN_US,
+            "hedge_percentile_overload": HEDGE_PCT_OVERLOAD,
+            "hedge_percentile_baseline": HEDGE_PCT_BASELINE,
+            "batch_max_overload": BATCH_MAX_OVERLOAD,
+            "batch_max_baseline": BATCH_MAX_BASELINE,
+        },
+        "static_grid": [asdict(cell) for cell in report.statics],
+        "controller": asdict(report.controller_cell),
+        "reproducibility": {
+            "bit_identical": report.bit_reproducible,
+            "first": asdict(report.controller_first),
+            "second": asdict(report.controller_second),
+        },
+        "acceptance": checks,
+    }
+
+
+def record_bench(report: AutoscaleReport, path: str = BENCH_PATH) -> dict:
+    """Validate the artifact against the checked-in schema and write it."""
+    return runner.write_artifact(
+        to_document(report), path, schema="bench_autoscale.schema.json"
+    )
+
+
+#: Runner spec: ``usuite autoscale`` is this experiment.
+EXPERIMENT = runner.Experiment(
+    name="autoscale",
+    run=run_autoscale_sweep,
+    format=format_autoscale,
+    acceptance=acceptance,
+    to_document=to_document,
+    schema="bench_autoscale.schema.json",
+    bench_path=BENCH_PATH,
+)

@@ -38,6 +38,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (durations, ticks, windows).
+
+    Non-positive values exit with code 2 (argparse's usage-error code)
+    instead of producing a zero-length measurement window or an
+    un-armable controller tick deep inside a sweep.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be a positive value: {text!r}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="small", help="scale name (small, unit)")
     parser.add_argument("--seed", type=int, default=0)
@@ -70,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig9", help="saturation throughput per service")
     _add_common(p)
     _add_services(p)
-    p.add_argument("--duration-us", type=float, default=400_000.0)
+    p.add_argument("--duration-us", type=_positive_float, default=400_000.0)
 
     p = sub.add_parser("fig10", help="end-to-end latency across loads")
     _add_common(p)
@@ -155,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
     p.add_argument("--qps", type=float, default=10_000.0)
-    p.add_argument("--duration-us", type=float, default=None,
+    p.add_argument("--duration-us", type=_positive_float, default=None,
                    help="measured window (default: the standard cell's 500 ms)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_engine.json)")
@@ -167,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_services(p)
     p.add_argument("--qps", type=float, default=10_000.0)
     p.add_argument("--intensities", nargs="+", type=float, default=[0.02, 0.05])
-    p.add_argument("--duration-us", type=float, default=None,
+    p.add_argument("--duration-us", type=_positive_float, default=None,
                    help="measured window per cell (default: 500 ms)")
     p.add_argument("--sweep", action="store_true",
                    help="also run the service x intensity x policy sweep "
@@ -185,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="balancing policies (default: all four)")
     p.add_argument("--loads", nargs="+", type=float, default=None,
                    help="offered loads in QPS for the tail cells")
-    p.add_argument("--duration-us", type=float, default=None,
+    p.add_argument("--duration-us", type=_positive_float, default=None,
                    help="measured window per cell (default: 500 ms)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_scale.json)")
@@ -203,12 +219,36 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N", help="cache-capacity axis (default: 256 1024 4096)")
     p.add_argument("--policy", choices=CACHE_POLICIES, default="lru",
                    help="cache eviction policy")
-    p.add_argument("--duration-us", type=float, default=None,
+    p.add_argument("--duration-us", type=_positive_float, default=None,
                    help="measured window per cell (default: 400 ms)")
     p.add_argument("--no-axes", action="store_true",
                    help="skip the batch-size / capacity axes (off-vs-on only)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_cache.json)")
+
+    p = sub.add_parser(
+        "autoscale",
+        help="closed-loop controller vs static replicas (diurnal + antagonist)",
+    )
+    p.add_argument("--scale", default="small", help="scale name (small, unit)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p.add_argument("--base-qps", type=_positive_float, default=None,
+                   help="diurnal curve mean rate (default: 5200)")
+    p.add_argument("--amplitude", type=float, default=None,
+                   help="diurnal swing in [0, 1] (default: 0.65)")
+    p.add_argument("--replicas", nargs="+", type=_positive_int, default=None,
+                   help="static grid replica counts; the controller's warm "
+                   "pool is the max (default: 1 2 3)")
+    p.add_argument("--duration-us", type=_positive_float, default=None,
+                   help="measured window = one diurnal period (default: 1.6 s)")
+    p.add_argument("--tick-us", type=_positive_float, default=None,
+                   help="controller tick (default: 20 ms)")
+    p.add_argument("--window-us", type=_positive_float, default=None,
+                   help="telemetry window width (default: 20 ms)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="record the run into this JSON file "
+                   "(e.g. BENCH_autoscale.json)")
 
     p = sub.add_parser(
         "graph", help="service-graph DAG tail-amplification sweep"
@@ -545,6 +585,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         if not args.output and outcome.checks is not None:
             print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+
+    elif command == "autoscale":
+        from repro.experiments import autoscale_sweep
+        from repro.experiments.runner import run_experiment
+
+        params = dict(service=args.service, scale=args.scale, seed=args.seed)
+        for flag, key in (
+            ("base_qps", "base_qps"), ("amplitude", "amplitude"),
+            ("replicas", "static_replicas"), ("duration_us", "duration_us"),
+            ("tick_us", "tick_us"), ("window_us", "window_us"),
+        ):
+            value = getattr(args, flag)
+            if value is not None:
+                params[key] = value
+        print("Autoscale sweep — closed-loop controller vs static grid")
+        outcome = run_experiment(
+            autoscale_sweep.EXPERIMENT, params=params, output=args.output
+        )
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+        return outcome.exit_code
 
     elif command == "graph":
         from repro.experiments import graph_sweep

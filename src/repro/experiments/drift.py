@@ -126,6 +126,32 @@ def _probe_faults(doc: dict) -> Tuple[dict, dict, str]:
     return asdict(report), recovery, "recovery triple"
 
 
+def _probe_autoscale(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import autoscale_sweep
+
+    max_replicas = max(cell["replicas"] for cell in doc["static_grid"])
+    built = autoscale_sweep.controlled_scale(
+        max_replicas,
+        tick_us=doc["tick_us"],
+        window_us=doc["window_us"],
+        scale=doc["scale"],
+        service=doc["service"],
+    )
+    cell = autoscale_sweep.measure_cell(
+        "controller", built, max_replicas,
+        base_qps=doc["traffic"]["base_qps"],
+        amplitude=doc["traffic"]["amplitude"],
+        service=doc["service"],
+        seed=doc["seed"],
+        duration_us=doc["duration_us"],
+    )
+    return (
+        asdict(cell),
+        doc["reproducibility"]["first"],
+        "controller cell (diurnal + antagonist)",
+    )
+
+
 #: artifact file name -> probe(doc) -> (fresh, committed, label).
 PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
     "BENCH_graph.json": _probe_graph,
@@ -133,6 +159,7 @@ PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
     "BENCH_cache.json": _probe_cache,
     "BENCH_scale.json": _probe_scale,
     "BENCH_faults.json": _probe_faults,
+    "BENCH_autoscale.json": _probe_autoscale,
 }
 
 

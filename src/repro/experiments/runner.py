@@ -73,19 +73,23 @@ def build_cluster(
     overrides: Optional[Mapping[str, object]] = None,
     midtier_policy=None,
     tail_policy=None,
+    faults=None,
 ) -> Tuple[SimCluster, ServiceHandle]:
     """An arrival-pinned, seeded cluster plus service for one sweep cell.
 
     ``overrides`` are forwarded to :meth:`ServiceScale.with_overrides`
     after ``scale`` resolves, so callers can say
     ``overrides={"trace": TraceConfig(enabled=True)}`` without touching
-    the registry scale.  Unknown services raise :class:`UsageError`.
+    the registry scale.  ``faults`` is an optional
+    :class:`~repro.faults.FaultPlan` attached at cluster construction
+    (the autoscale sweep's antagonist).  Unknown services raise
+    :class:`UsageError`.
     """
     built = resolve_scale(scale)
     if overrides:
         built = built.with_overrides(**overrides)
     pin_arrivals()
-    cluster = SimCluster(seed=seed)
+    cluster = SimCluster(seed=seed, faults=faults)
     try:
         handle = build_service(
             service, cluster, built,

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.control import Controller
 from repro.graph.apps import GraphLeafApp, GraphNodeApp
-from repro.graph.config import GraphConfig, GraphNode
+from repro.graph.config import GraphConfig, GraphError, GraphNode
 from repro.loadgen import CyclingSource
 from repro.midcache import CacheConfig as MidCacheConfig
 from repro.midcache import QueryCache
@@ -117,10 +118,27 @@ def build_graph(
     for name in build_order:
         node = graph.node(name)
         is_terminal = name in leaf_index
+        use_control = node.control.enabled
+        if use_control and is_terminal:
+            raise GraphError(
+                f"graph {graph.name!r}: terminal node {name!r} cannot be "
+                "controlled (autoscaling actuates mid-tier runtimes only)"
+            )
+        # Controlled nodes provision the warm pool; the controller decides
+        # how many of them admit (see suite.cluster.build_midtier_replicas
+        # for the same convention).
+        n_replicas = node.control.max_replicas if use_control else node.replicas
+        if use_control and cluster.telemetry.windows is None:
+            cluster.telemetry.enable_windows(
+                node.control.window_us,
+                prefixes=(
+                    "e2e_latency", "midtier_latency:", "runqlat:", "ctrl_",
+                ),
+            )
         node_runtimes: list = []
         node_machines: list = []
-        for replica in range(node.replicas):
-            suffix = name if node.replicas == 1 else f"{name}{replica}"
+        for replica in range(n_replicas):
+            suffix = name if n_replicas == 1 else f"{name}{replica}"
             if is_terminal:
                 machine = cluster.machine(
                     f"{prefix}-{suffix}", cores=node.cores,
@@ -158,18 +176,37 @@ def build_graph(
                 )
             node_runtimes.append(runtime)
             node_machines.append(machine)
-        if node.replicas > 1:
+        if n_replicas > 1:
             frontend = LoadBalancer(
                 cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
                 name=f"{prefix}-{name}-lb",
                 replicas=[runtime.address for runtime in node_runtimes],
                 policy=node.lb.policy,
                 pool_size=node.lb.pool_size,
+                initial_active=(
+                    node.control.initial_replicas if use_control else None
+                ),
             )
             frontends[name] = frontend
             front_address[name] = frontend.address
         else:
             front_address[name] = node_runtimes[0].address
+        if use_control:
+            controller = Controller(
+                cluster.sim,
+                cluster.telemetry,
+                node.control,
+                name=f"{prefix}-{name}-ctrl",
+                runtimes=node_runtimes,
+                lb=frontends.get(name),
+                signals=[
+                    f"midtier_latency:{machine.name}"
+                    for machine in node_machines
+                ],
+                runq_machines=[machine.name for machine in node_machines],
+            )
+            cluster.controllers.append(controller)
+            controller.start()
         runtimes[name] = node_runtimes
         machines[name] = node_machines
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.control.config import ControlConfig
 from repro.rpc.server import RuntimeConfig
 from repro.suite.config import BatchConfig, CacheConfig, LbConfig
 
@@ -50,6 +51,9 @@ class GraphNode:
     lb: LbConfig = field(default_factory=LbConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    # Closed-loop control for this node (internal nodes only); off by
+    # default, constructing nothing.
+    control: ControlConfig = field(default_factory=ControlConfig)
     # None picks the builder's role default (leaf vs. mid-tier pools).
     runtime: Optional[RuntimeConfig] = None
 
@@ -283,6 +287,11 @@ class GraphConfig:
             entry = asdict(node)
             if node.runtime is None:
                 del entry["runtime"]
+            if node.control == ControlConfig():
+                # Default (disabled) control serializes as absence, keeping
+                # pre-control graph dicts — and the committed artifacts
+                # embedding them — byte-identical.
+                del entry["control"]
             nodes.append(entry)
         return {
             "name": self.name,
@@ -303,7 +312,7 @@ class GraphConfig:
             kwargs = dict(entry)
             for key, sub_type in (
                 ("lb", LbConfig), ("batch", BatchConfig), ("cache", CacheConfig),
-                ("runtime", RuntimeConfig),
+                ("control", ControlConfig), ("runtime", RuntimeConfig),
             ):
                 if isinstance(kwargs.get(key), Mapping):
                     kwargs[key] = sub_type(**kwargs[key])

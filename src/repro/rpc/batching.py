@@ -191,6 +191,22 @@ class LeafBatcher:
             size,
         )
 
+    def set_max_batch(self, max_batch: int) -> None:
+        """Re-size the coalescing threshold live (control-plane actuation).
+
+        A shrink takes effect on the next ``add`` — an already-overfull
+        buffer is not force-flushed here because flushing performs socket
+        sends, which only simulated threads may do; the wait-time bound
+        (``max_wait_us`` timer) is unchanged, so nothing is stranded.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        self.config = BatchConfig(
+            max_batch=max_batch, max_wait_us=self.config.max_wait_us
+        )
+        for buf in self.buffers:
+            buf.max_batch = max_batch
+
     def stats(self) -> dict:
         """Coalescer accounting for experiment reports."""
         return {

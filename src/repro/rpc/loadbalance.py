@@ -53,6 +53,9 @@ class BalancingPolicy:
         """Return one of ``candidates`` (indices into the replica list)."""
         raise NotImplementedError
 
+    def resize(self, n_replicas: int) -> None:
+        """The replica list grew to ``n_replicas`` (autoscale add)."""
+
 
 class RoundRobinPolicy(BalancingPolicy):
     """Cycle through replicas in order, skipping exhausted pools."""
@@ -71,6 +74,11 @@ class RoundRobinPolicy(BalancingPolicy):
             if index in allowed:
                 return index
         return candidates[0]  # unreachable: candidates is never empty
+
+    def resize(self, n_replicas: int) -> None:
+        self._n = n_replicas
+        if self._next >= n_replicas:
+            self._next = 0
 
 
 class RandomPolicy(BalancingPolicy):
@@ -166,11 +174,16 @@ class LoadBalancer:
         policy: str = "round-robin",
         pool_size: int = 128,
         forward_delay_us: float = 2.0,
+        initial_active: int = None,
     ):
         if not replicas:
             raise ValueError("a LoadBalancer needs at least one replica")
         if pool_size <= 0:
             raise ValueError(f"pool_size must be positive: {pool_size}")
+        if initial_active is not None and not (1 <= initial_active <= len(replicas)):
+            raise ValueError(
+                f"initial_active must be in [1, {len(replicas)}]: {initial_active}"
+            )
         self.sim = sim
         self.fabric = fabric
         self.telemetry = telemetry
@@ -190,12 +203,85 @@ class LoadBalancer:
         self.completed = 0
         self.backlogged = 0
         self.per_replica_forwarded: List[int] = [0] * len(self.replicas)
+        # Autoscaling state: only admitting replicas receive new requests.
+        # Replicas beyond initial_active start parked (a warm pool the
+        # controller can activate); initial_active=None means all admit —
+        # the pre-autoscale behavior, byte-for-byte.
+        n_active = len(self.replicas) if initial_active is None else initial_active
+        self.active: List[bool] = [i < n_active for i in range(len(self.replicas))]
+        # replica index -> optional on_retired callback, set while the
+        # replica has stopped admitting but still has requests in flight.
+        self._draining: Dict[int, object] = {}
         fabric.register(name, self._on_packet)
 
     # -- forward path ------------------------------------------------------
     def _free_replicas(self) -> List[int]:
         pool = self.pool_size
-        return [i for i, n in enumerate(self.outstanding) if n < pool]
+        active = self.active
+        return [
+            i for i, n in enumerate(self.outstanding) if n < pool and active[i]
+        ]
+
+    # -- autoscaling (repro.control) ---------------------------------------
+    @property
+    def backlog_depth(self) -> int:
+        """Requests waiting in the FIFO backlog right now."""
+        return len(self._backlog)
+
+    @property
+    def admitting_count(self) -> int:
+        """Replicas currently eligible for new requests."""
+        return sum(self.active)
+
+    @property
+    def draining_count(self) -> int:
+        """Replicas that stopped admitting but still have requests out."""
+        return len(self._draining)
+
+    def activate_replica(self, index: int) -> None:
+        """Open a parked (or draining) replica for admission.
+
+        Reactivating a draining replica cancels the drain — its pending
+        retire callback is discarded, not fired.
+        """
+        if not 0 <= index < len(self.replicas):
+            raise IndexError(f"replica index out of range: {index}")
+        self._draining.pop(index, None)
+        if not self.active[index]:
+            self.active[index] = True
+            # A fresh admission slot may unblock backlogged requests.
+            self._drain_backlog()
+
+    def drain_replica(self, index: int, on_retired=None) -> bool:
+        """Stop admitting to a replica, then retire it once drained.
+
+        Outstanding requests keep their replica and complete normally —
+        nothing is dropped or re-sent.  Returns True when the replica was
+        already idle (retired immediately, ``on_retired`` fired inline);
+        otherwise the callback fires from the completion path when the
+        last outstanding response returns.
+        """
+        if not 0 <= index < len(self.replicas):
+            raise IndexError(f"replica index out of range: {index}")
+        self.active[index] = False
+        if self.outstanding[index] == 0:
+            self._draining.pop(index, None)
+            if on_retired is not None:
+                on_retired(index)
+            return True
+        self._draining[index] = on_retired
+        return False
+
+    def add_replica(self, address: Address, active: bool = True) -> int:
+        """Register a new replica endpoint live; returns its index."""
+        self.replicas.append(tuple(address))
+        self.outstanding.append(0)
+        self.per_replica_forwarded.append(0)
+        self.active.append(active)
+        self.policy.resize(len(self.replicas))
+        if active:
+            self._drain_backlog()
+        return len(self.replicas) - 1
 
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload
@@ -248,7 +334,24 @@ class LoadBalancer:
                 self.address, reply_to, response, response.size_bytes,
                 extra_delay_us=self.forward_delay_us,
             )
-        if self._backlog:
+        if index in self._draining and self.outstanding[index] == 0:
+            # Last outstanding response for a draining replica: retire.
+            on_retired = self._draining.pop(index)
+            if on_retired is not None:
+                on_retired(index)
+        self._drain_backlog()
+
+    def _drain_backlog(self) -> None:
+        """Dispatch backlogged requests while any admitting pool has room.
+
+        Guarded on both sides: a completion on a *draining* replica frees
+        no admission slot, so popping unconditionally (the pre-autoscale
+        code path) would hand ``policy.choose`` an empty candidate list.
+        """
+        while self._backlog:
+            candidates = self._free_replicas()
+            if not candidates:
+                return
             request, queued_at = self._backlog.popleft()
             self.telemetry.record(
                 f"lb_backlog_wait:{self.name}", self.sim.now - queued_at
@@ -260,7 +363,7 @@ class LoadBalancer:
                     "queue_dwell", self.name, queued_at, self.sim.now,
                     request.request_id,
                 )
-            self._dispatch(request, self._free_replicas())
+            self._dispatch(request, candidates)
 
     # -- reporting ---------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -274,6 +377,8 @@ class LoadBalancer:
             "backlogged": self.backlogged,
             "per_replica_forwarded": list(self.per_replica_forwarded),
             "outstanding": list(self.outstanding),
+            "active": list(self.active),
+            "draining": sorted(self._draining),
         }
 
 

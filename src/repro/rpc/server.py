@@ -658,6 +658,29 @@ class MidTierRuntime(_RuntimeBase):
             return None
         return entry, response.arrive_time or self.machine.sim.now
 
+    # -- control-plane actuation (repro.control) ---------------------------
+    def set_tail_policy(self, policy: "TailPolicy") -> None:
+        """Swap the tail policy live — re-thresholding only.
+
+        The controller may retune hedge percentiles mid-run, but turning
+        the tail-tolerance layer on or off changes which timers exist and
+        is forbidden: the off path's bit-identity guarantee depends on no
+        policy ever appearing.
+        """
+        if (policy is None) != (self.tail_policy is None):
+            raise ValueError(
+                "set_tail_policy may re-threshold an existing policy, not "
+                "toggle the tail-tolerance layer on/off"
+            )
+        self.tail_policy = policy
+        self._hedge_delay_cache = None  # recompute against the new percentile
+
+    def set_batch_max(self, max_batch: int) -> None:
+        """Re-size the leaf coalescer's flush threshold live."""
+        if self.batcher is None:
+            raise ValueError("runtime has no batcher to re-size")
+        self.batcher.set_max_batch(max_batch)
+
     # -- tail tolerance ----------------------------------------------------
     def _observe_leaf_latency(self, latency_us: float) -> None:
         """Feed the auto-hedge percentile estimate (policy runs only)."""

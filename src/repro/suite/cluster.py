@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.control import Controller
 from repro.kernel import Machine, MachineSpec, OsCosts
 from repro.kernel.scheduler import PlacementPolicy
 from repro.loadgen import ClosedLoopLoadGen, OpenLoopLoadGen, QuerySource
@@ -49,6 +50,9 @@ class SimCluster:
         if self.faults is not None and self.faults.network is not None \
                 and self.faults.network.active:
             self.fabric.install_fault(self.faults.network)
+        # Closed-loop controllers (repro.control), one per controlled
+        # service; empty unless a ControlConfig with enabled=True is built.
+        self.controllers: List[Controller] = []
 
     def machine(
         self,
@@ -88,6 +92,8 @@ class SimCluster:
 
     def shutdown(self) -> None:
         """Cancel machine background ticks so the event heap can drain."""
+        for controller in self.controllers:
+            controller.stop()
         for machine in self.machines:
             machine.shutdown()
 
@@ -114,7 +120,22 @@ def build_midtier_replicas(
     to the paper's.  Returns ``(runtimes, machines, frontend)`` where
     ``frontend`` is None for the single-replica case.
     """
-    n_replicas = scale.topology.midtier_replicas
+    # Closed-loop control (repro.control).  When enabled the cluster
+    # provisions max_replicas machines up front (a warm pool the
+    # controller activates/drains through the balancer) and a Controller
+    # ticking on the event calendar; disabled (the default) constructs
+    # none of it and the topology below is byte-for-byte the historical
+    # one.
+    control = scale.control
+    use_control = control.enabled
+    n_replicas = (
+        control.max_replicas if use_control else scale.topology.midtier_replicas
+    )
+    if use_control and cluster.telemetry.windows is None:
+        cluster.telemetry.enable_windows(
+            control.window_us,
+            prefixes=("e2e_latency", "midtier_latency:", "runqlat:", "ctrl_"),
+        )
     # Batching / caching knobs (repro.rpc.batching, repro.midcache).  Both
     # default off: the configs below stay None, the runtimes construct
     # nothing extra, and pre-existing goldens are bit-identical.
@@ -135,6 +156,20 @@ def build_midtier_replicas(
         # One private cache per replica, like a replica-local memcached.
         return QueryCache(cache_config) if cache_config is not None else None
 
+    def _attach_controller(runtimes, machines, frontend):
+        controller = Controller(
+            cluster.sim,
+            cluster.telemetry,
+            control,
+            name=f"{name_prefix}-ctrl",
+            runtimes=runtimes,
+            lb=frontend,
+            signals=[E2E_HIST],
+            runq_machines=[machine.name for machine in machines],
+        )
+        cluster.controllers.append(controller)
+        controller.start()
+
     if n_replicas <= 1:
         machine = cluster.machine(
             f"{name_prefix}-mid", cores=cores, policy=midtier_policy, role="midtier"
@@ -143,6 +178,8 @@ def build_midtier_replicas(
             machine, port=port, app=app, leaf_addrs=leaf_addrs, config=config,
             tail_policy=tail_policy, batch_config=batch_config, cache=_make_cache(),
         )
+        if use_control:
+            _attach_controller([runtime], [machine], None)
         return [runtime], [machine], None
     runtimes: List[MidTierRuntime] = []
     machines: List[Machine] = []
@@ -168,7 +205,10 @@ def build_midtier_replicas(
         replicas=[runtime.address for runtime in runtimes],
         policy=scale.lb.policy,
         pool_size=scale.lb.pool_size,
+        initial_active=control.initial_replicas if use_control else None,
     )
+    if use_control:
+        _attach_controller(runtimes, machines, frontend)
     return runtimes, machines, frontend
 
 

@@ -30,6 +30,7 @@ import warnings
 from dataclasses import MISSING, asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
+from repro.control.config import ControlConfig
 from repro.rpc.server import RuntimeConfig
 
 
@@ -142,6 +143,7 @@ _SUB_CONFIG_TYPES: Dict[str, type] = {
     "batch": BatchConfig,
     "cache": CacheConfig,
     "trace": TraceConfig,
+    "control": ControlConfig,
     "midtier_runtime": RuntimeConfig,
     "leaf_runtime": RuntimeConfig,
     "router_midtier_runtime": RuntimeConfig,
@@ -172,6 +174,10 @@ class ServiceScale:
     batch: BatchConfig = field(default_factory=BatchConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
+    # Closed-loop control plane (repro.control).  Off by default: no
+    # controller, no telemetry windows, no warm replicas — bit-identical
+    # to a build without this field.
+    control: ControlConfig = field(default_factory=ControlConfig)
 
     midtier_runtime: RuntimeConfig = field(
         default_factory=lambda: RuntimeConfig(
@@ -351,6 +357,7 @@ SCALES: Dict[str, ServiceScale] = {
 __all__ = [
     "BatchConfig",
     "CacheConfig",
+    "ControlConfig",
     "LbConfig",
     "SCALES",
     "ServiceScale",

@@ -21,5 +21,12 @@ HITM PEBS           :meth:`Telemetry.count_hitm`
 
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.probes import IRQ_KINDS, Telemetry
+from repro.telemetry.windows import MetricWindow, WindowedMetrics
 
-__all__ = ["IRQ_KINDS", "LatencyHistogram", "Telemetry"]
+__all__ = [
+    "IRQ_KINDS",
+    "LatencyHistogram",
+    "MetricWindow",
+    "Telemetry",
+    "WindowedMetrics",
+]

@@ -44,6 +44,10 @@ class Telemetry:
         self.histograms: Dict[str, LatencyHistogram] = {}
         self.counters: Counter = Counter()
         self.events: List[Tuple[float, str]] = []
+        # Opt-in fixed-width metric windows (repro.telemetry.windows),
+        # created by enable_windows(). None keeps the probe hot paths
+        # unchanged — the off path is a single identity test.
+        self.windows = None
 
     # -- wiring ----------------------------------------------------------
     def attach_clock(self, clock, sim=None) -> None:
@@ -55,6 +59,18 @@ class Telemetry:
         is measurable."""
         self._clock = clock
         self._sim = sim
+
+    def enable_windows(self, width_us: float, prefixes=()) -> None:
+        """Tee matching probe samples into fixed-width metric windows.
+
+        Unlike the whole-run aggregates, the windows ignore
+        ``window_start`` (controllers must see warm-up load) and survive
+        :meth:`open_window`.  Runqueue-wait samples appear under the
+        series name ``runqlat:<machine>``.
+        """
+        from repro.telemetry.windows import WindowedMetrics
+
+        self.windows = WindowedMetrics(width_us, prefixes)
 
     def in_window(self) -> bool:
         """True when current time is inside the measurement window."""
@@ -94,7 +110,10 @@ class Telemetry:
     def record_runqlat(self, machine: str, latency_us: float) -> None:
         """eBPF ``runqlat`` equivalent: Active→Exe scheduler wait."""
         sim = self._sim
-        if (sim._now if sim is not None else self._clock()) < self.window_start:
+        now = sim._now if sim is not None else self._clock()
+        if self.windows is not None:
+            self.windows.observe(f"runqlat:{machine}", now, latency_us)
+        if now < self.window_start:
             return
         hist = self.runqlat.get(machine)
         if hist is None:
@@ -164,7 +183,10 @@ class Telemetry:
     def record(self, name: str, value: float) -> None:
         """Record into the named histogram if inside the window."""
         sim = self._sim
-        if (sim._now if sim is not None else self._clock()) >= self.window_start:
+        now = sim._now if sim is not None else self._clock()
+        if self.windows is not None:
+            self.windows.observe(name, now, value)
+        if now >= self.window_start:
             hist = self.histograms.get(name)
             if hist is None:
                 hist = LatencyHistogram(self.reservoir_size)

@@ -1,0 +1,141 @@
+"""Fixed-width metric windows for the control plane.
+
+The :class:`~repro.telemetry.probes.Telemetry` hub aggregates whole-run
+summaries; a controller instead needs *recent* behavior.  This module
+adds an opt-in tee: when :meth:`Telemetry.enable_windows` is called, each
+matching probe sample is also binned into a fixed-width
+:class:`MetricWindow` keyed by ``int(now // width_us)``.  The tee sits in
+front of the warm-up trim (``window_start``), so the controller sees
+load from t=0, and :meth:`Telemetry.open_window` deliberately does *not*
+clear windows — the control loop's view must survive the measurement
+trim.
+
+Determinism: binning is pure arithmetic on the event-engine clock.  When
+windowing is disabled (the default) no object is constructed and no
+probe path changes — a single ``is None`` test.
+
+The concatenation property (proved in ``tests/test_control_properties``)
+is that count/sum/min/max and percentile over all windows of a series,
+concatenated, exactly equal the same aggregates over the whole run —
+each sample lands in exactly one window, and the percentile math is the
+same closest-rank interpolation as :class:`LatencyHistogram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def rank_percentile(ordered: Sequence[float], pct: float) -> float:
+    """Closest-rank linear interpolation, identical to
+    :meth:`LatencyHistogram.percentile` over an already-sorted sequence."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+@dataclass
+class MetricWindow:
+    """Exact aggregates + samples for one series over one time bin."""
+
+    index: int
+    start_us: float
+    end_us: float
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        return rank_percentile(sorted(self.samples), pct)
+
+
+class WindowedMetrics:
+    """Per-series fixed-width windows, filled by the telemetry tee.
+
+    ``prefixes`` restricts which probe names are binned (empty = all):
+    windowing every histogram in a large sweep would double telemetry
+    memory for series the controller never reads.
+    """
+
+    def __init__(
+        self,
+        width_us: float,
+        prefixes: Sequence[str] = (),
+        start_us: float = 0.0,
+    ):
+        if width_us <= 0:
+            raise ValueError(f"window width must be positive, got {width_us}")
+        self.width_us = float(width_us)
+        self.prefixes: Tuple[str, ...] = tuple(prefixes)
+        self.start_us = float(start_us)
+        self._series: Dict[str, Dict[int, MetricWindow]] = {}
+
+    def wants(self, name: str) -> bool:
+        return not self.prefixes or name.startswith(self.prefixes)
+
+    def observe(self, name: str, now_us: float, value: float) -> None:
+        if not self.wants(name):
+            return
+        series = self._series.get(name)
+        if series is None:
+            series = {}
+            self._series[name] = series
+        idx = int((now_us - self.start_us) // self.width_us)
+        window = series.get(idx)
+        if window is None:
+            start = self.start_us + idx * self.width_us
+            window = MetricWindow(index=idx, start_us=start, end_us=start + self.width_us)
+            series[idx] = window
+        window.observe(value)
+
+    # -- reads -------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def windows(self, name: str) -> List[MetricWindow]:
+        """All windows of a series, in time order."""
+        series = self._series.get(name, {})
+        return [series[idx] for idx in sorted(series)]
+
+    def windows_between(self, name: str, t0_us: float, t1_us: float) -> List[MetricWindow]:
+        """Windows overlapping [t0_us, t1_us).  Selection is at window
+        granularity: a window belongs to the range when it intersects it."""
+        return [
+            w for w in self.windows(name)
+            if w.end_us > t0_us and w.start_us < t1_us
+        ]
+
+    def values_between(
+        self, names: Sequence[str], t0_us: float, t1_us: float
+    ) -> List[float]:
+        """Concatenated samples of several series over a span (window
+        granularity), in (series, time) order — deterministic."""
+        out: List[float] = []
+        for name in names:
+            for w in self.windows_between(name, t0_us, t1_us):
+                out.extend(w.samples)
+        return out

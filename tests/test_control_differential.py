@@ -1,0 +1,139 @@
+"""Differential tests: the control plane is invisible until it acts.
+
+Two equivalences pin the determinism contract from both sides:
+
+* **static-policy controller == static cluster** — a controller running
+  :class:`~repro.control.policies.StaticPolicy` with
+  ``min == initial == max`` ticks, observes, and never actuates.  Its
+  run must reproduce the plain static cluster of the same replica count
+  *sample for sample*: controller events interleave into the engine's
+  total order without perturbing the relative order (or timing) of any
+  workload event.
+* **controller-off == no control plane at all** — with
+  ``control.enabled=False`` nothing is constructed (no windows, no
+  controllers, no warm replicas), byte-identical to a build that
+  predates the subsystem.  The committed goldens in
+  test_golden_determinism.py pin that side; here we assert the
+  structural half (nothing constructed).
+"""
+
+from dataclasses import replace
+
+from repro.control import ControlConfig
+from repro.experiments import runner
+from repro.suite import SCALES
+from repro.suite.cluster import run_open_loop
+
+QPS = 1_500.0
+DURATION_US = 150_000.0
+WARMUP_US = 100_000.0
+
+
+def _sweep_scale(replicas: int):
+    base = SCALES["unit"]
+    return base.with_overrides(
+        topology=replace(base.topology, midtier_replicas=replicas),
+        lb=replace(base.lb, policy="round-robin"),
+    )
+
+
+def _static_cluster_run(replicas: int):
+    scale = _sweep_scale(replicas)
+    cluster, service = runner.build_cluster("hdsearch", scale, seed=0)
+    result = run_open_loop(
+        cluster, service, qps=QPS, duration_us=DURATION_US, warmup_us=WARMUP_US
+    )
+    samples = result.e2e.samples()
+    summary = (result.sent, result.completed)
+    cluster.shutdown()
+    return summary, samples, cluster
+
+
+def _controlled_cluster_run(replicas: int, policy: str = "static"):
+    scale = _sweep_scale(replicas).with_overrides(
+        control=ControlConfig(
+            enabled=True,
+            policy=policy,
+            tick_us=10_000.0,
+            window_us=10_000.0,
+            min_replicas=replicas,
+            max_replicas=replicas,
+            initial_replicas=replicas,
+        )
+    )
+    cluster, service = runner.build_cluster("hdsearch", scale, seed=0)
+    result = run_open_loop(
+        cluster, service, qps=QPS, duration_us=DURATION_US, warmup_us=WARMUP_US
+    )
+    samples = result.e2e.samples()
+    summary = (result.sent, result.completed)
+    cluster.shutdown()
+    return summary, samples, cluster
+
+
+def test_static_policy_controller_matches_static_cluster():
+    static_summary, static_samples, _ = _static_cluster_run(2)
+    ctrl_summary, ctrl_samples, cluster = _controlled_cluster_run(2)
+    assert static_summary == ctrl_summary
+    # Sample for sample: every request completes at the same simulated
+    # time with the same latency, in the same order.
+    assert ctrl_samples == static_samples
+    # The controller genuinely ran — it ticked and billed — it just
+    # never actuated.
+    assert len(cluster.controllers) == 1
+    controller = cluster.controllers[0]
+    assert controller.ticks > 0
+    assert controller.scale_ups == 0
+    assert controller.scale_downs == 0
+    assert controller.hedge_retunes == 0
+    assert controller.batch_retunes == 0
+    assert controller.stats()["mode"] == "baseline"
+
+
+def test_static_policy_controller_bills_constant_replicas():
+    _, _, cluster = _controlled_cluster_run(2)
+    controller = cluster.controllers[0]
+    horizon = cluster.sim.now
+    # Never-actuating controller: replica-seconds is exactly
+    # count x elapsed time.
+    assert controller.replica_seconds(horizon) == (
+        2 * (horizon - controller.account.events[0][0]) / 1e6
+    )
+
+
+def test_controller_off_constructs_nothing():
+    scale = _sweep_scale(2)
+    assert scale.control.enabled is False
+    cluster, service = runner.build_cluster("hdsearch", scale, seed=0)
+    assert cluster.controllers == []
+    assert cluster.telemetry.windows is None
+    # All replicas admit; no warm pool, no parked machines.
+    assert service.frontend is not None
+    assert service.frontend.admitting_count == 2
+    assert all(service.frontend.active)
+    cluster.shutdown()
+
+
+def test_controller_on_enables_windows_and_warm_pool():
+    scale = _sweep_scale(1).with_overrides(
+        control=ControlConfig(
+            enabled=True, policy="threshold",
+            min_replicas=1, max_replicas=3, initial_replicas=1,
+        )
+    )
+    cluster, service = runner.build_cluster("hdsearch", scale, seed=0)
+    assert len(cluster.controllers) == 1
+    assert cluster.telemetry.windows is not None
+    # Warm pool provisioned up front; only the initial replica admits.
+    assert service.frontend is not None
+    assert len(service.frontend.replicas) == 3
+    assert service.frontend.admitting_count == 1
+    cluster.shutdown()
+
+
+def test_threshold_controller_same_seed_bit_identical():
+    first = _controlled_cluster_run(2, policy="threshold")
+    second = _controlled_cluster_run(2, policy="threshold")
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2].controllers[0].stats() == second[2].controllers[0].stats()

@@ -178,3 +178,98 @@ def test_batching_diverges_from_off_path():
     assert off.completed > 0 and on.completed > 0
     assert asdict(off) != asdict(on)
     assert on.futex_per_query < off.futex_per_query
+
+
+# -- closed-loop control plane ----------------------------------------------
+# The controller is off by default; every golden above already pins the
+# off path bit-for-bit (enabled=False constructs no windows, no warm
+# replicas, no timers).  This cell pins the *on* path: a threshold
+# controller that genuinely actuates (two scale-ups) has its own exact
+# golden, and diverges from the equivalent static cluster.
+
+def _controlled_point():
+    from dataclasses import replace
+
+    from repro.control import ControlConfig
+    from repro.experiments.runner import build_cluster
+    from repro.suite.cluster import run_open_loop
+
+    base = SCALES["unit"]
+    scale = base.with_overrides(
+        topology=replace(base.topology, midtier_replicas=1),
+        lb=replace(base.lb, policy="round-robin"),
+        control=ControlConfig(
+            enabled=True, policy="threshold", tick_us=10_000.0,
+            window_us=10_000.0, min_replicas=1, max_replicas=3,
+            initial_replicas=1, p99_high_us=400.0, p99_low_us=100.0,
+            cooldown_us=20_000.0,
+        ),
+    )
+    cluster, service = build_cluster("hdsearch", scale, seed=0)
+    result = run_open_loop(
+        cluster, service, qps=1500.0,
+        duration_us=150_000.0, warmup_us=100_000.0,
+    )
+    stats = cluster.controllers[0].stats()
+    point = (
+        result.sent, result.completed,
+        result.e2e.percentile(50), result.e2e.percentile(99),
+        result.e2e.mean, result.e2e.samples(),
+    )
+    cluster.shutdown()
+    return point, stats
+
+
+def test_controller_on_same_seed_bit_identical():
+    first = _controlled_point()
+    second = _controlled_point()
+    assert first == second
+
+
+def test_controller_on_golden_bit_identical():
+    (sent, completed, p50, p99, mean, _samples), stats = _controlled_point()
+    assert sent == 208
+    assert completed == 207
+    assert p50 == 865.400222228418
+    assert p99 == 1181.8920531452386
+    assert mean == 871.676572472116
+    assert stats["ticks"] == 30
+    assert stats["scale_ups"] == 2
+    assert stats["scale_downs"] == 0
+    assert stats["mode"] == "overload"
+    assert stats["scale_events"] == [[10000.0, "up", 2], [30000.0, "up", 3]]
+    assert stats["replica_seconds"] == 0.86
+
+
+def _scaleout_samples():
+    from dataclasses import replace
+
+    from repro.experiments.runner import build_cluster
+    from repro.suite.cluster import run_open_loop
+
+    base = SCALES["unit"]
+    scale = base.with_overrides(
+        topology=replace(base.topology, midtier_replicas=3),
+        lb=replace(base.lb, policy="round-robin"),
+    )
+    cluster, service = build_cluster("hdsearch", scale, seed=0)
+    result = run_open_loop(
+        cluster, service, qps=1500.0,
+        duration_us=150_000.0, warmup_us=100_000.0,
+    )
+    samples = result.e2e.samples()
+    cluster.shutdown()
+    return samples
+
+
+def test_controller_on_diverges_from_static_cluster():
+    # Same seed, same 3 machines behind the same balancer — but the
+    # controller starts at 1 admitting replica and scales out, so the
+    # latency trajectory must genuinely differ from the all-admitting
+    # static cluster.  (If these ever match, the controller stopped
+    # actuating and the golden above is vacuous.)
+    (_, _, _, _, _, on_samples), stats = _controlled_point()
+    off_samples = _scaleout_samples()
+    assert stats["scale_ups"] > 0
+    assert on_samples and off_samples
+    assert on_samples != off_samples
