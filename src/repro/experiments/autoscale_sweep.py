@@ -244,8 +244,15 @@ def measure_cell(
     seed: int = 0,
     duration_us: float = DEFAULT_DURATION_US,
     warmup_us: float = WARMUP_US,
+    telemetry=None,
 ) -> AutoscaleCell:
-    """One diurnal+antagonist run of either kind of configuration."""
+    """One diurnal+antagonist run of either kind of configuration.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the scale's default (buffered).
+    """
+    if telemetry is not None:
+        scale_cfg = scale_cfg.with_overrides(telemetry=telemetry)
     faults = FaultPlan(midtier_pressure=ANTAGONIST)
     cluster, service_handle = runner.build_cluster(
         service, scale_cfg, seed=seed,
@@ -270,7 +277,9 @@ def measure_cell(
     completed = gen.completed - completed_before
     gen.stop()
     cluster.run(until=window_end + DRAIN_US)
-    e2e = cluster.telemetry.hist(E2E_HIST)
+    # Folds the spill stream in streaming mode; a no-op when buffered.
+    telemetry_hub = cluster.telemetry.finalized()
+    e2e = telemetry_hub.hist(E2E_HIST)
     controller_stats: Optional[Dict[str, object]] = None
     if cluster.controllers:
         controller = cluster.controllers[0]
@@ -309,6 +318,7 @@ def run_autoscale_sweep(
     tick_us: float = DEFAULT_TICK_US,
     window_us: float = DEFAULT_WINDOW_US,
     static_replicas: Iterable[int] = STATIC_REPLICAS,
+    telemetry=None,
 ) -> AutoscaleReport:
     """The full grid plus the controller cell, run twice."""
     if base_qps <= 0:
@@ -342,7 +352,7 @@ def run_autoscale_sweep(
             measure_cell(
                 f"static-{n}", cfg, n,
                 base_qps=base_qps, amplitude=amplitude, service=service,
-                seed=seed, duration_us=duration_us,
+                seed=seed, duration_us=duration_us, telemetry=telemetry,
             )
         )
     max_replicas = max(static_replicas)
@@ -355,7 +365,7 @@ def run_autoscale_sweep(
         cell = measure_cell(
             "controller", ctrl_cfg, max_replicas,
             base_qps=base_qps, amplitude=amplitude, service=service,
-            seed=seed, duration_us=duration_us,
+            seed=seed, duration_us=duration_us, telemetry=telemetry,
         )
         if report.controller_first is None:
             report.controller_first = cell

@@ -181,8 +181,15 @@ def measure_cache_point(
     seed: int = 0,
     duration_us: float = DEFAULT_DURATION_US,
     warmup_us: float = WARMUP_US,
+    telemetry=None,
 ) -> CachePoint:
-    """One open-loop cell with cache/batch telemetry roll-ups."""
+    """One open-loop cell with cache/batch telemetry roll-ups.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the scale's default (buffered).
+    """
+    if telemetry is not None:
+        scale = runner.resolve_scale(scale).with_overrides(telemetry=telemetry)
     cluster, service = runner.build_cluster(service_name, scale, seed=seed)
     result = run_open_loop(
         cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
@@ -220,6 +227,7 @@ def run_cache_sweep(
     saturation_duration_us: float = SATURATION_DURATION_US,
     axes: bool = True,
     cache_policy: str = DEFAULT_POLICY,
+    telemetry=None,
 ) -> CacheSweepReport:
     """Off-vs-on per service, plus the batch-size and capacity axes."""
     services = list(services)
@@ -239,7 +247,8 @@ def run_cache_sweep(
             for qps in loads:
                 cell.loads.append(
                     measure_cache_point(
-                        service, built, qps, seed=seed, duration_us=duration_us
+                        service, built, qps, seed=seed, duration_us=duration_us,
+                        telemetry=telemetry,
                     )
                 )
             cells.append(cell)
@@ -260,7 +269,7 @@ def run_cache_sweep(
             cell.loads.append(
                 measure_cache_point(
                     BATCH_AXIS_SERVICE, built, acceptance_qps, seed=seed,
-                    duration_us=duration_us,
+                    duration_us=duration_us, telemetry=telemetry,
                 )
             )
             cells.append(cell)
@@ -278,7 +287,7 @@ def run_cache_sweep(
             cell.loads.append(
                 measure_cache_point(
                     CAPACITY_AXIS_SERVICE, built, acceptance_qps, seed=seed,
-                    duration_us=duration_us,
+                    duration_us=duration_us, telemetry=telemetry,
                 )
             )
             cells.append(cell)
@@ -288,10 +297,12 @@ def run_cache_sweep(
     repro_service = services[0]
     built = sweep_scale(DEFAULT_BATCH_MAX, DEFAULT_CAPACITY, scale=scale, cache_policy=cache_policy)
     first = measure_cache_point(
-        repro_service, built, acceptance_qps, seed=seed, duration_us=duration_us
+        repro_service, built, acceptance_qps, seed=seed,
+        duration_us=duration_us, telemetry=telemetry,
     )
     second = measure_cache_point(
-        repro_service, built, acceptance_qps, seed=seed, duration_us=duration_us
+        repro_service, built, acceptance_qps, seed=seed,
+        duration_us=duration_us, telemetry=telemetry,
     )
 
     return CacheSweepReport(

@@ -86,7 +86,7 @@ def characterize(
         scale = scale.with_overrides(**scale_overrides)
     if duration_us is None:
         duration_us = default_duration_us(qps)
-    cluster = SimCluster(seed=seed, faults=faults)
+    cluster = SimCluster(seed=seed, faults=faults, telemetry=scale.telemetry)
     service = build_service(
         service_name, cluster, scale, midtier_policy=midtier_policy,
         tail_policy=tail_policy,

@@ -75,6 +75,49 @@ def _add_loads(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    """Telemetry-mode flags shared by every sweep that supports them."""
+    from repro.telemetry import TELEMETRY_MODES
+
+    parser.add_argument(
+        "--telemetry-mode", choices=TELEMETRY_MODES, default="buffered",
+        help="telemetry aggregation: 'buffered' keeps the historical "
+        "in-memory hub; 'streaming' spills windowed deltas to a JSONL "
+        "stream at bounded memory (bit-identical aggregates)",
+    )
+    parser.add_argument(
+        "--telemetry-window-us", type=_positive_float, default=None,
+        help="streaming flush window width in us (default: 10000)",
+    )
+    parser.add_argument(
+        "--telemetry-spill", default=None, metavar="PATH",
+        help="streaming spill file (default: an unlinked temp file; with "
+        "multi-cell sweeps each cell rewrites the same path, so the file "
+        "holds the last cell's stream)",
+    )
+
+
+def _telemetry_config(args):
+    """The :class:`TelemetryConfig` the telemetry flags describe.
+
+    Returns None for plain buffered defaults so sweeps keep their
+    historical construction path untouched.
+    """
+    mode = getattr(args, "telemetry_mode", "buffered")
+    window_us = getattr(args, "telemetry_window_us", None)
+    spill = getattr(args, "telemetry_spill", None)
+    if mode == "buffered" and window_us is None and spill is None:
+        return None
+    from repro.telemetry import TelemetryConfig
+
+    kwargs = {"mode": mode}
+    if window_us is not None:
+        kwargs["window_us"] = window_us
+    if spill is not None:
+        kwargs["spill_path"] = spill
+    return TelemetryConfig(**kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="usuite",
@@ -165,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="slowest exemplars to print per cell")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_trace.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser("perf", help="engine throughput on the standard 10K QPS cell")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -177,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record the run into this JSON file (e.g. BENCH_engine.json)")
     p.add_argument("--record", choices=["before", "after"], default="after",
                    help="which slot of the JSON artifact to fill")
+    _add_telemetry(p)
 
     p = sub.add_parser("faults", help="fault injection x tail-tolerance sweep")
     _add_common(p)
@@ -190,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(slow; the default runs only the recovery triple)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_faults.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser("scale", help="mid-tier replicas x balancing policy sweep")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -205,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measured window per cell (default: 500 ms)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_scale.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser("cache", help="leaf batching x result cache sweep")
     p.add_argument("--scale", default="small", help="scale name (small, unit)")
@@ -225,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the batch-size / capacity axes (off-vs-on only)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_cache.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser(
         "autoscale",
@@ -249,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file "
                    "(e.g. BENCH_autoscale.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser(
         "graph", help="service-graph DAG tail-amplification sweep"
@@ -265,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: 0.02)")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="record the run into this JSON file (e.g. BENCH_graph.json)")
+    _add_telemetry(p)
 
     p = sub.add_parser("figure-smoke",
                        help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
@@ -478,6 +528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 queries=args.queries or trace_sweep.QUERIES_PER_CELL,
                 sample_every=args.sample_every,
                 top_k=args.top_k,
+                telemetry=_telemetry_config(args),
             ),
             output=args.output,
         )
@@ -493,6 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = run_perf(
             service=args.service, qps=args.qps, seed=args.seed, scale=args.scale,
             duration_us=args.duration_us if args.duration_us else PERF_DURATION_US,
+            telemetry=_telemetry_config(args),
         )
         print("Engine performance")
         print(report.format())
@@ -513,6 +565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 services=args.services, intensities=args.intensities,
                 qps=args.qps, scale=args.scale, seed=args.seed,
                 duration_us=args.duration_us,
+                telemetry=_telemetry_config(args),
             )
             print("Fault sweep — tail amplification, policy off vs on")
             print(format_fault_sweep(sweep))
@@ -520,6 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         recovery = run_recovery(
             qps=args.qps, scale=args.scale, seed=args.seed,
             duration_us=args.duration_us,
+            telemetry=_telemetry_config(args),
         )
         print("Tail-tolerance recovery (leaf slowdown)")
         print(recovery.format())
@@ -553,6 +607,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale=args.scale,
                 seed=args.seed,
                 duration_us=args.duration_us or scale_sweep.DEFAULT_DURATION_US,
+                telemetry=_telemetry_config(args),
             ),
             output=args.output,
         )
@@ -574,6 +629,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             axes=not args.no_axes,
             cache_policy=args.policy,
+            telemetry=_telemetry_config(args),
         )
         if args.duration_us:
             params["duration_us"] = args.duration_us
@@ -590,7 +646,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import autoscale_sweep
         from repro.experiments.runner import run_experiment
 
-        params = dict(service=args.service, scale=args.scale, seed=args.seed)
+        params = dict(
+            service=args.service, scale=args.scale, seed=args.seed,
+            telemetry=_telemetry_config(args),
+        )
         for flag, key in (
             ("base_qps", "base_qps"), ("amplitude", "amplitude"),
             ("replicas", "static_replicas"), ("duration_us", "duration_us"),
@@ -625,6 +684,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.intensity if args.intensity is not None
                     else graph_sweep.INJECT_INTENSITY
                 ),
+                telemetry=_telemetry_config(args),
             ),
             output=args.output,
         )

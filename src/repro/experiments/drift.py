@@ -152,6 +152,35 @@ def _probe_autoscale(doc: dict) -> Tuple[dict, dict, str]:
     )
 
 
+def _probe_trace_streaming(doc: dict) -> Tuple[dict, dict, str]:
+    """The pinned trace cell again, but through streaming telemetry.
+
+    The committed bytes were recorded with the buffered hub; a streaming
+    re-run must still match them exactly — this is the determinism
+    contract of :mod:`repro.telemetry.stream` gated in CI.
+    """
+    from repro.experiments import trace_sweep
+    from repro.telemetry import TelemetryConfig
+
+    repro = doc["reproducibility"]
+    cell = trace_sweep.measure_trace_cell(
+        repro["service"],
+        doc["scale"],
+        repro["qps"],
+        seed=doc["seed"],
+        queries=doc["queries_per_cell"],
+        sample_every=doc["sample_every"],
+        top_k=len(repro["first"]["exemplars"]),
+        telemetry=TelemetryConfig(mode="streaming"),
+    )
+    return (
+        asdict(cell),
+        repro["first"],
+        f"{repro['service']} @ {repro['qps']:g} QPS traced cell "
+        "(streaming telemetry)",
+    )
+
+
 #: artifact file name -> probe(doc) -> (fresh, committed, label).
 PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
     "BENCH_graph.json": _probe_graph,
@@ -162,13 +191,16 @@ PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
     "BENCH_autoscale.json": _probe_autoscale,
 }
 
+#: Streaming-equivalence re-runs: the same committed bytes must also
+#: fall out of the bounded-memory telemetry path.
+STREAMING_PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
+    "BENCH_trace.json": _probe_trace_streaming,
+}
 
-def check_artifact(path: Path) -> Tuple[bool, str]:
-    """Re-run one artifact's pinned cell; (ok, human-readable detail)."""
-    probe = PROBES.get(path.name)
-    if probe is None:
-        return True, f"{path}: no drift probe registered, skipped"
-    doc = json.loads(path.read_text())
+
+def _run_probe(
+    probe: Callable[[dict], Tuple[dict, dict, str]], path: Path, doc: dict
+) -> Tuple[bool, str]:
     fresh, committed, label = probe(doc)
     if _canon(fresh) == _canon(committed):
         return True, f"{path}: ok ({label} reproduces byte-identically)"
@@ -179,6 +211,26 @@ def check_artifact(path: Path) -> Tuple[bool, str]:
     return False, (
         f"{path}: DRIFT in {label}: fields differ: {', '.join(diff_keys)}"
     )
+
+
+def check_artifact(path: Path) -> Tuple[bool, str]:
+    """Re-run one artifact's pinned cell; (ok, human-readable detail).
+
+    Artifacts with a streaming probe registered are re-run a second time
+    through the streaming telemetry pipeline; both runs must match the
+    committed bytes.
+    """
+    probe = PROBES.get(path.name)
+    if probe is None:
+        return True, f"{path}: no drift probe registered, skipped"
+    doc = json.loads(path.read_text())
+    ok, detail = _run_probe(probe, path, doc)
+    streaming = STREAMING_PROBES.get(path.name)
+    if streaming is not None:
+        stream_ok, stream_detail = _run_probe(streaming, path, doc)
+        ok = ok and stream_ok
+        detail = f"{detail}\n{stream_detail}"
+    return ok, detail
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -223,4 +275,4 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI
     sys.exit(main())
 
 
-__all__ = ["EXEMPT", "PROBES", "check_artifact", "main"]
+__all__ = ["EXEMPT", "PROBES", "STREAMING_PROBES", "check_artifact", "main"]

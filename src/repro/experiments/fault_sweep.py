@@ -72,12 +72,15 @@ def run_fault_cell(
     seed: int = 0,
     duration_us: Optional[float] = None,
     warmup_us: float = 200_000.0,
+    telemetry=None,
 ) -> CharacterizationResult:
     """One measured cell with the arrival process pinned.
 
     Resetting the client instance counter keeps the load generator's RNG
     stream name — and therefore the Poisson arrival sequence — identical
     across cells, so faulted and healthy runs see the same offered load.
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the scale's default (buffered).
     """
     runner.pin_arrivals()
     return characterize(
@@ -89,6 +92,7 @@ def run_fault_cell(
         warmup_us=warmup_us,
         faults=faults,
         tail_policy=tail_policy,
+        scale_overrides={"telemetry": telemetry} if telemetry is not None else None,
     )
 
 
@@ -126,6 +130,7 @@ def run_fault_sweep(
     scale: str = "small",
     seed: int = 0,
     duration_us: Optional[float] = None,
+    telemetry=None,
 ) -> List[FaultCell]:
     """Sweep injector intensity × policy {off, on} across services."""
     cells: List[FaultCell] = []
@@ -133,6 +138,7 @@ def run_fault_sweep(
         healthy = run_fault_cell(
             service, qps, faults=None, tail_policy=None,
             scale=scale, seed=seed, duration_us=duration_us,
+            telemetry=telemetry,
         )
         healthy_p99 = healthy.e2e.percentile(99)
         for intensity in intensities:
@@ -145,6 +151,7 @@ def run_fault_sweep(
                     scale=scale,
                     seed=seed,
                     duration_us=duration_us,
+                    telemetry=telemetry,
                 )
                 tail = cell.extras["tail"]
                 cells.append(
@@ -250,20 +257,24 @@ def run_recovery(
     scale: str = "small",
     seed: int = 0,
     duration_us: Optional[float] = None,
+    telemetry=None,
 ) -> RecoveryReport:
     """Measure how much injected p99 inflation the policies recover."""
     faults = slowdown_plan(intensity)
     base = run_fault_cell(
         service, qps, faults=None, tail_policy=None,
         scale=scale, seed=seed, duration_us=duration_us,
+        telemetry=telemetry,
     )
     faulted = run_fault_cell(
         service, qps, faults=faults, tail_policy=None,
         scale=scale, seed=seed, duration_us=duration_us,
+        telemetry=telemetry,
     )
     tolerant = run_fault_cell(
         service, qps, faults=faults, tail_policy=tail_policy,
         scale=scale, seed=seed, duration_us=duration_us,
+        telemetry=telemetry,
     )
     base_p99 = base.e2e.percentile(99)
     faulted_p99 = faulted.e2e.percentile(99)

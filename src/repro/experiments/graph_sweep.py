@@ -230,10 +230,15 @@ def measure_graph_cell(
     queries: int = QUERIES_PER_CELL,
     faults: Optional[FaultPlan] = None,
     traced: bool = False,
+    telemetry=None,
 ) -> GraphCell:
-    """Run one open-loop cell of one graph, optionally fault-injected."""
+    """Run one open-loop cell of one graph, optionally fault-injected.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the historical buffered hub.
+    """
     runner.pin_arrivals()
-    cluster = SimCluster(seed=seed, faults=faults)
+    cluster = SimCluster(seed=seed, faults=faults, telemetry=telemetry)
     handle = build_graph(cluster, graph)
     tracer = (
         Tracer(sample_every=1, max_traces=2 * queries) if traced else None
@@ -291,11 +296,12 @@ def measure_traffic_cell(
     qps: float = QPS,
     seed: int = 0,
     queries: int = QUERIES_PER_CELL,
+    telemetry=None,
 ) -> TrafficCell:
     """Drive the exemplar with the variable-rate open loop and compare
     realized arrivals against the curve's analytic integral."""
     runner.pin_arrivals()
-    cluster = SimCluster(seed=seed)
+    cluster = SimCluster(seed=seed, telemetry=telemetry)
     handle = build_graph(cluster, graph)
     duration_us = queries / qps * 1e6
     curve = traffic_curve(duration_us, base_qps=0.8 * qps)
@@ -324,6 +330,8 @@ def measure_traffic_cell(
         completed=gen.completed,
         rel_err=abs(sent - expected) / expected if expected > 0 else 1.0,
     )
+    # No run helper ran here, so fold the spill stream (if any) explicitly.
+    cluster.telemetry.finalized()
     cluster.shutdown()
     return cell
 
@@ -341,10 +349,11 @@ def measure_session_cell(
     graph: GraphConfig,
     seed: int = 0,
     duration_us: float = 800_000.0,
+    telemetry=None,
 ) -> SessionCell:
     """Run the session mix closed-loop and check in-flight conservation."""
     runner.pin_arrivals()
-    cluster = SimCluster(seed=seed)
+    cluster = SimCluster(seed=seed, telemetry=telemetry)
     handle = build_graph(cluster, graph)
     gen = SessionLoadGen(
         cluster.sim, cluster.fabric, cluster.telemetry, cluster.rng,
@@ -370,6 +379,8 @@ def measure_session_cell(
         and gen.completed_by_class[cls.name] > 0
         for cls in SESSION_MIX
     )
+    # No run helper ran here, so fold the spill stream (if any) explicitly.
+    cluster.telemetry.finalized()
     cluster.shutdown()
     return SessionCell(
         duration_us=duration_us, classes=classes, conserved=conserved
@@ -382,6 +393,7 @@ def run_graph_sweep(
     workload_queries: int = WORKLOAD_QUERIES,
     seed: int = 0,
     intensity: float = INJECT_INTENSITY,
+    telemetry=None,
 ) -> GraphSweepReport:
     """The four amplification cells, the traffic checks, and the repro
     double run."""
@@ -402,21 +414,29 @@ def run_graph_sweep(
     deep = exemplar_graph(n_queries=workload_queries)
     onehop = onehop_graph(n_queries=workload_queries)
     plan = injection_plan(intensity)
-    onehop_clean = measure_graph_cell(onehop, qps, seed=seed, queries=queries)
+    onehop_clean = measure_graph_cell(
+        onehop, qps, seed=seed, queries=queries, telemetry=telemetry
+    )
     onehop_injected = measure_graph_cell(
-        onehop, qps, seed=seed, queries=queries, faults=plan
+        onehop, qps, seed=seed, queries=queries, faults=plan,
+        telemetry=telemetry,
     )
     deep_clean = measure_graph_cell(
-        deep, qps, seed=seed, queries=queries, traced=True
+        deep, qps, seed=seed, queries=queries, traced=True,
+        telemetry=telemetry,
     )
     deep_injected = measure_graph_cell(
-        deep, qps, seed=seed, queries=queries, faults=plan, traced=True
+        deep, qps, seed=seed, queries=queries, faults=plan, traced=True,
+        telemetry=telemetry,
     )
     repro_second = measure_graph_cell(
-        deep, qps, seed=seed, queries=queries, faults=plan, traced=True
+        deep, qps, seed=seed, queries=queries, faults=plan, traced=True,
+        telemetry=telemetry,
     )
-    traffic = measure_traffic_cell(deep, qps=qps, seed=seed, queries=queries)
-    sessions = measure_session_cell(deep, seed=seed)
+    traffic = measure_traffic_cell(
+        deep, qps=qps, seed=seed, queries=queries, telemetry=telemetry
+    )
+    sessions = measure_session_cell(deep, seed=seed, telemetry=telemetry)
     return GraphSweepReport(
         seed=seed,
         qps=qps,

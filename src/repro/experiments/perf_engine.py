@@ -74,14 +74,17 @@ def run_perf(
     scale: str = "small",
     duration_us: float = PERF_DURATION_US,
     warmup_us: float = PERF_WARMUP_US,
+    telemetry=None,
 ) -> PerfReport:
     """Build the perf cell on a fresh cluster and time it end to end.
 
     The wall clock covers the measured simulation only (cluster and
     service construction — LSH tuning, corpus generation — are excluded:
-    they are numpy setup work, not engine throughput).
+    they are numpy setup work, not engine throughput).  ``telemetry``
+    (a :class:`~repro.telemetry.TelemetryConfig`) selects the
+    aggregation mode; None keeps the historical buffered hub.
     """
-    cluster = SimCluster(seed=seed)
+    cluster = SimCluster(seed=seed, telemetry=telemetry)
     handle = build_service(service, cluster, SCALES[scale])
     sim = cluster.sim
     events_before = sim.executed

@@ -89,7 +89,7 @@ def build_cluster(
     if overrides:
         built = built.with_overrides(**overrides)
     pin_arrivals()
-    cluster = SimCluster(seed=seed, faults=faults)
+    cluster = SimCluster(seed=seed, faults=faults, telemetry=built.telemetry)
     try:
         handle = build_service(
             service, cluster, built,

@@ -165,8 +165,15 @@ def measure_load_point(
     seed: int = 0,
     duration_us: float = DEFAULT_DURATION_US,
     warmup_us: float = WARMUP_US,
+    telemetry=None,
 ) -> LoadPoint:
-    """One open-loop cell with per-replica balancing telemetry."""
+    """One open-loop cell with per-replica balancing telemetry.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the scale's default (buffered).
+    """
+    if telemetry is not None:
+        scale = runner.resolve_scale(scale).with_overrides(telemetry=telemetry)
     cluster, service = runner.build_cluster(service_name, scale, seed=seed)
     result = run_open_loop(
         cluster, service, qps=qps, duration_us=duration_us, warmup_us=warmup_us
@@ -200,6 +207,7 @@ def run_scale_sweep(
     scale: str = "small",
     seed: int = 0,
     duration_us: float = DEFAULT_DURATION_US,
+    telemetry=None,
 ) -> ScaleSweepReport:
     """The full sweep plus a same-seed double run of one cell."""
     policies = [canonical_policy(name) for name in policies]
@@ -219,7 +227,8 @@ def run_scale_sweep(
             for qps in loads:
                 cell.loads.append(
                     measure_load_point(
-                        service, built, qps, seed=seed, duration_us=duration_us
+                        service, built, qps, seed=seed, duration_us=duration_us,
+                        telemetry=telemetry,
                     )
                 )
             cells.append(cell)
@@ -234,9 +243,9 @@ def run_scale_sweep(
     built = sweep_scale(repro_n, repro_policy if repro_n > 1 else "round-robin",
                         scale=scale, service=service)
     first = measure_load_point(service, built, repro_qps, seed=seed,
-                               duration_us=duration_us)
+                               duration_us=duration_us, telemetry=telemetry)
     second = measure_load_point(service, built, repro_qps, seed=seed,
-                                duration_us=duration_us)
+                                duration_us=duration_us, telemetry=telemetry)
 
     return ScaleSweepReport(
         service=service,

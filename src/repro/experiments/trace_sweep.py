@@ -178,11 +178,18 @@ def measure_trace_cell(
     sample_every: int = 1,
     max_traces: int = 10_000,
     top_k: int = 5,
+    telemetry=None,
 ) -> TraceCell:
-    """Run one cell with tracing on and attribute every sampled trace."""
+    """Run one cell with tracing on and attribute every sampled trace.
+
+    ``telemetry`` (a :class:`~repro.telemetry.TelemetryConfig`) selects
+    the aggregation mode; None keeps the scale's default (buffered).
+    """
     built = sweep_trace_config(
         scale, sample_every=sample_every, max_traces=max_traces, top_k=top_k
     )
+    if telemetry is not None:
+        built = built.with_overrides(telemetry=telemetry)
     cluster, handle = runner.build_cluster(service, built, seed=seed)
     tracer = Tracer(
         sample_every=built.trace.sample_every,
@@ -232,7 +239,7 @@ def measure_trace_cell(
             critpath.tail_exemplars(traces, k=built.trace.top_k), traces
         ),
         crosscheck=critpath.crosscheck(
-            traces, cluster.telemetry, list(mids)
+            traces, result.telemetry, list(mids)
         ),
     )
     cluster.shutdown()
@@ -247,6 +254,7 @@ def run_trace_sweep(
     queries: int = QUERIES_PER_CELL,
     sample_every: int = 1,
     top_k: int = 5,
+    telemetry=None,
 ) -> TraceSweepReport:
     """The full sweep plus a same-seed double run of one cell."""
     services = list(services)
@@ -254,7 +262,7 @@ def run_trace_sweep(
     cells = [
         measure_trace_cell(
             service, scale, qps, seed=seed, queries=queries,
-            sample_every=sample_every, top_k=top_k,
+            sample_every=sample_every, top_k=top_k, telemetry=telemetry,
         )
         for service in services
         for qps in loads
@@ -266,11 +274,11 @@ def run_trace_sweep(
     )
     first = measure_trace_cell(
         repro_service, scale, repro_qps, seed=seed, queries=queries,
-        sample_every=sample_every, top_k=top_k,
+        sample_every=sample_every, top_k=top_k, telemetry=telemetry,
     )
     second = measure_trace_cell(
         repro_service, scale, repro_qps, seed=seed, queries=queries,
-        sample_every=sample_every, top_k=top_k,
+        sample_every=sample_every, top_k=top_k, telemetry=telemetry,
     )
     return TraceSweepReport(
         scale=scale if isinstance(scale, str) else scale.name,

@@ -23,7 +23,12 @@ from repro.rpc.batching import BatchConfig
 from repro.rpc.loadbalance import LoadBalancer
 from repro.rpc.server import LeafRuntime, MidTierRuntime
 from repro.sim import RngStreams, Simulation
-from repro.telemetry import LatencyHistogram, Telemetry
+from repro.telemetry import (
+    LatencyHistogram,
+    StreamingTelemetry,
+    Telemetry,
+    TelemetryConfig,
+)
 
 
 class SimCluster:
@@ -36,9 +41,21 @@ class SimCluster:
         costs: Optional[OsCosts] = None,
         reservoir_size: int = 100_000,
         faults=None,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         self.sim = Simulation()
-        self.telemetry = Telemetry(reservoir_size=reservoir_size)
+        # Buffered mode (telemetry None or mode="buffered") constructs the
+        # historical in-memory hub — nothing new, bit-identical goldens.
+        # Streaming substitutes the spilling subclass; every probe callee
+        # sees the same public interface.
+        if telemetry is not None and telemetry.streaming:
+            self.telemetry: Telemetry = StreamingTelemetry(
+                reservoir_size=reservoir_size,
+                window_us=telemetry.window_us,
+                spill_path=telemetry.spill_path,
+            )
+        else:
+            self.telemetry = Telemetry(reservoir_size=reservoir_size)
         self.telemetry.attach_clock(lambda: self.sim.now, sim=self.sim)
         self.rng = RngStreams(seed)
         self.fabric = Fabric(self.sim, self.telemetry, self.rng, link=link)
@@ -96,6 +113,9 @@ class SimCluster:
             controller.stop()
         for machine in self.machines:
             machine.shutdown()
+        # Releases the telemetry spill stream (a no-op for buffered mode
+        # and for streams already folded by finalized()).
+        self.telemetry.close()
 
 
 def build_midtier_replicas(
@@ -322,14 +342,18 @@ def run_open_loop(
     gen.stop()
     cluster.run(until=start + warmup_us + duration_us + drain_us)
     cluster.fabric.unregister(gen.name)
+    # Buffered: returns the hub unchanged.  Streaming: flushes the last
+    # window, folds the spill stream, and adopts the folded aggregates so
+    # every downstream reader sees bit-identical structures.
+    telemetry = cluster.telemetry.finalized()
     return RunResult(
         service=service.name,
         qps_offered=qps,
         duration_us=duration_us,
         sent=window_sent,
         completed=window_completed,
-        e2e=cluster.telemetry.hist(E2E_HIST),
-        telemetry=cluster.telemetry,
+        e2e=telemetry.hist(E2E_HIST),
+        telemetry=telemetry,
         midtier_name=service.midtier_name,
         midtier_names=service.midtier_names,
         lb_stats=service.frontend.stats() if service.frontend else None,
@@ -362,14 +386,15 @@ def run_closed_loop(
     completed = gen._window_completed
     gen.stop()
     cluster.fabric.unregister(gen.name)
+    telemetry = cluster.telemetry.finalized()
     return RunResult(
         service=service.name,
         qps_offered=float("inf"),
         duration_us=duration_us,
         sent=gen.sent,
         completed=completed,
-        e2e=cluster.telemetry.hist(E2E_HIST),
-        telemetry=cluster.telemetry,
+        e2e=telemetry.hist(E2E_HIST),
+        telemetry=telemetry,
         midtier_name=service.midtier_name,
         midtier_names=service.midtier_names,
         lb_stats=service.frontend.stats() if service.frontend else None,

@@ -32,6 +32,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.control.config import ControlConfig
 from repro.rpc.server import RuntimeConfig
+from repro.telemetry.config import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,7 @@ _SUB_CONFIG_TYPES: Dict[str, type] = {
     "cache": CacheConfig,
     "trace": TraceConfig,
     "control": ControlConfig,
+    "telemetry": TelemetryConfig,
     "midtier_runtime": RuntimeConfig,
     "leaf_runtime": RuntimeConfig,
     "router_midtier_runtime": RuntimeConfig,
@@ -178,6 +180,11 @@ class ServiceScale:
     # controller, no telemetry windows, no warm replicas — bit-identical
     # to a build without this field.
     control: ControlConfig = field(default_factory=ControlConfig)
+    # Telemetry aggregation mode (repro.telemetry.config).  Buffered by
+    # default: the historical in-memory hub is constructed and every
+    # committed golden stays byte-identical; "streaming" spills windowed
+    # deltas to a JSONL stream at O(windows) resident memory.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     midtier_runtime: RuntimeConfig = field(
         default_factory=lambda: RuntimeConfig(

@@ -17,16 +17,30 @@ eBPF / perf tool    Probe in this package
 ``perf`` (cs)       :meth:`Telemetry.count_context_switch`
 HITM PEBS           :meth:`Telemetry.count_hitm`
 =================  =====================================================
+
+Two aggregation modes, selected by :class:`TelemetryConfig`: the
+buffered hub aggregates in memory (the historical default), while
+:class:`StreamingTelemetry` spills windowed deltas to a JSONL stream
+and folds them back post-mortem (:func:`fold_stream`) — bit-identical
+aggregates at O(windows retained) resident memory.
 """
 
+from repro.telemetry.aggregate import StreamError, fold_stream
+from repro.telemetry.config import TELEMETRY_MODES, TelemetryConfig
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.probes import IRQ_KINDS, Telemetry
+from repro.telemetry.stream import StreamingTelemetry
 from repro.telemetry.windows import MetricWindow, WindowedMetrics
 
 __all__ = [
     "IRQ_KINDS",
     "LatencyHistogram",
     "MetricWindow",
+    "StreamError",
+    "StreamingTelemetry",
+    "TELEMETRY_MODES",
     "Telemetry",
+    "TelemetryConfig",
     "WindowedMetrics",
+    "fold_stream",
 ]

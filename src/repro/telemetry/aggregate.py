@@ -1,0 +1,233 @@
+"""Post-mortem aggregation of a telemetry JSONL stream.
+
+:func:`fold_stream` replays a stream written by
+:class:`~repro.telemetry.stream.StreamingTelemetry` into a fresh
+buffered :class:`~repro.telemetry.probes.Telemetry`, reproducing the
+in-memory structures bit-for-bit (see the determinism contract in
+:mod:`repro.telemetry.stream`): histogram samples replay in record
+order through the same seeded reservoir, ``attributed`` sums re-run
+every floating-point addition in the original order, and ``open``
+markers re-apply the warm-up trim at exactly the record the buffered
+hub applied it.
+
+Streams are validated structurally: a header must come first, every
+line must parse, and the ``end`` footer must be present with matching
+window/sample counts — a truncated or tampered stream raises
+:class:`StreamError` instead of folding to silently wrong aggregates.
+
+Run as ``python -m repro.telemetry.aggregate STREAM`` to fold a stream
+and print its summary JSON; exit code 2 flags a malformed stream.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.probes import IRQ_KINDS, Telemetry
+from repro.telemetry.stream import STREAM_VERSION
+
+
+class StreamError(ValueError):
+    """The stream is malformed, truncated, or fails integrity checks."""
+
+
+def _fail(line_no: int, detail: str) -> None:
+    raise StreamError(f"line {line_no}: {detail}")
+
+
+def fold_stream(
+    path: str, reservoir_size: Optional[int] = None
+) -> Telemetry:
+    """Fold one JSONL stream back into a buffered :class:`Telemetry`.
+
+    ``reservoir_size`` overrides the header's recorded size (callers
+    replaying into a differently-sized reservoir lose bit-identity, so
+    the default — the header value — is almost always right).
+    """
+    with open(path, "r", encoding="utf-8") as stream:
+        lines = stream.read().splitlines()
+    if not lines:
+        raise StreamError("empty stream: missing header")
+
+    records = []
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            _fail(line_no, f"malformed JSON: {err}")
+        if not isinstance(records[-1], dict) or "t" not in records[-1]:
+            _fail(line_no, "record is not an object with a 't' kind")
+
+    header = records[0]
+    if header["t"] != "header":
+        _fail(1, f"expected header record, got {header['t']!r}")
+    if header.get("version") != STREAM_VERSION:
+        _fail(1, f"unsupported stream version: {header.get('version')!r}")
+    if reservoir_size is None:
+        reservoir_size = int(header["reservoir_size"])
+
+    footer = records[-1]
+    if footer["t"] != "end":
+        raise StreamError(
+            "truncated stream: missing 'end' footer (the run did not "
+            "reach finalized())"
+        )
+
+    out = Telemetry(reservoir_size=reservoir_size)
+    windows_seen = 0
+    samples_seen = 0
+    for line_no, record in enumerate(records[1:-1], start=2):
+        kind = record["t"]
+        if kind == "open":
+            out.open_window(float(record["start"]))
+            continue
+        if kind == "end":
+            _fail(line_no, "'end' footer before the last line")
+        if kind != "w":
+            _fail(line_no, f"unknown record kind {kind!r}")
+        windows_seen += 1
+        for machine, counts in record.get("syscalls", {}).items():
+            per_machine = out.syscalls.get(machine)
+            if per_machine is None:
+                per_machine = out.syscalls[machine] = Counter()
+            for name, n in counts.items():
+                per_machine[name] += n
+        for machine, values in record.get("runqlat", {}).items():
+            hist = out.runqlat.get(machine)
+            if hist is None:
+                hist = out.runqlat[machine] = LatencyHistogram(
+                    reservoir_size
+                )
+            hist.extend(values)
+            samples_seen += len(values)
+        for machine, kinds in record.get("irq", {}).items():
+            for kind_name, values in kinds.items():
+                if kind_name not in IRQ_KINDS:
+                    _fail(line_no, f"unknown irq kind {kind_name!r}")
+                key = (machine, kind_name)
+                hist = out.irq_latency.get(key)
+                if hist is None:
+                    hist = out.irq_latency[key] = LatencyHistogram(
+                        reservoir_size
+                    )
+                hist.extend(values)
+                samples_seen += len(values)
+        for machine, n in record.get("ctx", {}).items():
+            out.context_switches[machine] += n
+        for machine, n in record.get("hitm", {}).items():
+            out.hitm[machine] += n
+        for machine, n in record.get("hitm_remote", {}).items():
+            out.hitm_remote[machine] += n
+        out.retransmissions += record.get("retrans", 0)
+        for machine, n in record.get("futex", {}).items():
+            out.futex_contended_wakes[machine] += n
+        for machine, categories in record.get("attributed", {}).items():
+            for category, values in categories.items():
+                key = (machine, category)
+                for us in values:
+                    # One addition per recorded value, in record order:
+                    # float addition is not associative, so folding a
+                    # subtotal first would drift from the buffered sum.
+                    out.attributed[key] = out.attributed.get(key, 0.0) + us
+                    out.attributed_counts[key] += 1
+                samples_seen += len(values)
+        for name, values in record.get("hist", {}).items():
+            out.hist(name).extend(values)
+            samples_seen += len(values)
+        for name, n in record.get("counters", {}).items():
+            out.counters[name] += n
+        for t, label in record.get("events", ()):
+            out.events.append((t, label))
+            samples_seen += 1
+
+    if footer.get("windows") != windows_seen:
+        raise StreamError(
+            f"integrity: footer says {footer.get('windows')} windows, "
+            f"stream holds {windows_seen}"
+        )
+    if footer.get("samples") != samples_seen:
+        raise StreamError(
+            f"integrity: footer says {footer.get('samples')} samples, "
+            f"stream holds {samples_seen}"
+        )
+    return out
+
+
+def summarize(telemetry: Telemetry) -> Dict[str, object]:
+    """A JSON-ready whole-run summary of a folded stream."""
+    return {
+        "window_start": telemetry.window_start,
+        "histograms": {
+            name: hist.summary()
+            for name, hist in sorted(telemetry.histograms.items())
+        },
+        "runqlat": {
+            machine: hist.summary()
+            for machine, hist in sorted(telemetry.runqlat.items())
+        },
+        "irq": {
+            f"{machine}:{kind}": hist.summary()
+            for (machine, kind), hist in sorted(telemetry.irq_latency.items())
+        },
+        "syscalls": {
+            machine: dict(sorted(counts.items()))
+            for machine, counts in sorted(telemetry.syscalls.items())
+        },
+        "counters": dict(sorted(telemetry.counters.items())),
+        "context_switches": dict(sorted(telemetry.context_switches.items())),
+        "hitm": dict(sorted(telemetry.hitm.items())),
+        "hitm_remote": dict(sorted(telemetry.hitm_remote.items())),
+        "futex_contended_wakes": dict(
+            sorted(telemetry.futex_contended_wakes.items())
+        ),
+        "retransmissions": telemetry.retransmissions,
+        "attributed_us": {
+            f"{machine}:{category}": us
+            for (machine, category), us in sorted(telemetry.attributed.items())
+        },
+        "events": len(telemetry.events),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.aggregate",
+        description="Fold a streaming-telemetry JSONL stream into the "
+        "whole-run summary the buffered pipeline would have produced.",
+    )
+    parser.add_argument("stream", help="path to the JSONL telemetry stream")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the summary JSON here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        telemetry = fold_stream(args.stream)
+    except OSError as err:
+        print(f"aggregate: error: cannot read {args.stream}: {err}")
+        return 2
+    except StreamError as err:
+        print(f"aggregate: error: {args.stream}: {err}")
+        return 2
+    text = json.dumps(summarize(telemetry), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as out:
+            out.write(text + "\n")
+        print(f"folded {args.stream} -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())
+
+
+__all__ = ["StreamError", "fold_stream", "main", "summarize"]

@@ -1,0 +1,57 @@
+"""Typed telemetry-mode configuration for the config tree.
+
+:class:`TelemetryConfig` selects how a run's probes are aggregated:
+
+* ``mode="buffered"`` (the default) — the historical in-memory
+  :class:`~repro.telemetry.probes.Telemetry` hub.  Nothing new is
+  constructed; every committed golden is byte-identical.
+* ``mode="streaming"`` — a
+  :class:`~repro.telemetry.stream.StreamingTelemetry` that spills
+  windowed probe deltas to an append-only JSONL stream during the run
+  and evicts the raw samples after each flush, so resident telemetry
+  memory is O(windows retained), not O(requests).  The post-mortem
+  aggregator (:mod:`repro.telemetry.aggregate`) folds the stream back
+  into exactly the buffered structures — bit-identical at the same
+  seed (proved in ``tests/test_stream_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The two aggregation modes a run can use.
+TELEMETRY_MODES = ("buffered", "streaming")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """How one run's telemetry is aggregated (see the module docstring)."""
+
+    mode: str = "buffered"
+    #: Streaming flush window: pending deltas are written to the stream
+    #: and evicted each time the simulation clock crosses a multiple of
+    #: this width.  Ignored in buffered mode.
+    window_us: float = 10_000.0
+    #: Where the JSONL stream is written.  None (the default) spills to
+    #: a temporary file that is deleted after the post-mortem fold; a
+    #: path keeps the stream on disk for ``repro.telemetry.aggregate``.
+    spill_path: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in TELEMETRY_MODES:
+            raise ValueError(
+                f"telemetry mode must be one of {TELEMETRY_MODES}: "
+                f"{self.mode!r}"
+            )
+        if not self.window_us > 0:
+            raise ValueError(
+                f"telemetry window_us must be positive: {self.window_us}"
+            )
+
+    @property
+    def streaming(self) -> bool:
+        return self.mode == "streaming"
+
+
+__all__ = ["TELEMETRY_MODES", "TelemetryConfig"]

@@ -72,6 +72,34 @@ class Telemetry:
 
         self.windows = WindowedMetrics(width_us, prefixes)
 
+    def finalized(self) -> "Telemetry":
+        """The telemetry to read whole-run summaries from.
+
+        The buffered hub aggregates in place, so this is ``self`` and
+        constructs nothing — run helpers call it unconditionally, and
+        only the streaming subclass does work here (fold the spill
+        stream back into these structures).
+        """
+        return self
+
+    def close(self) -> None:
+        """Release run-scoped resources (no-op for the buffered hub)."""
+
+    def retained_samples(self) -> int:
+        """Raw samples currently resident: histogram reservoirs, events,
+        and the windows tee.  This is the telemetry-internal high-water
+        probe the bounded-memory regression test reads — deliberately
+        not RSS, which a one-core runner cannot measure cleanly."""
+        retained = sum(
+            len(hist._samples)
+            for group in (self.runqlat, self.irq_latency, self.histograms)
+            for hist in group.values()
+        )
+        retained += len(self.events)
+        if self.windows is not None:
+            retained += self.windows.retained_samples()
+        return retained
+
     def in_window(self) -> bool:
         """True when current time is inside the measurement window."""
         sim = self._sim

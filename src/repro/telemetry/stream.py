@@ -1,0 +1,406 @@
+"""Streaming telemetry: windowed probe deltas spilled to a JSONL stream.
+
+:class:`StreamingTelemetry` is a drop-in :class:`~repro.telemetry.probes.Telemetry`
+that does *not* aggregate in memory.  Each probe sample lands in a
+per-window pending buffer; when the simulation clock crosses a window
+boundary the buffer is appended to an on-disk JSONL stream (the
+Prometheus-style collect/ingest split) and evicted, so resident
+telemetry memory is O(windows retained), not O(requests).
+
+The determinism contract — streaming aggregates bit-identical to the
+buffered path at the same seed — rests on three invariants:
+
+* **Raw values, never subtotals.**  Window records carry the raw
+  per-window sample lists.  Replaying them in stream order reproduces
+  every floating-point addition (histogram totals, critical-path
+  ``attributed`` sums) in the buffered order, and drives each
+  histogram's reservoir RNG through exactly the same sequence.
+* **Order preservation.**  The simulation clock is monotone, so every
+  sample of window *k* is flushed before any sample of window *k+1*;
+  concatenating the per-window lists is the original record order.
+* **Marker-based warm-up trim.**  ``open_window`` is an explicit
+  ``open`` record, flushed *after* the pending window.  The fold resets
+  its state at the marker — discarding everything recorded before the
+  call, exactly like the buffered hub, including samples whose
+  timestamp equals the new window start (a timestamp-based gate would
+  misclassify those).
+
+``finalized()`` flushes, writes the integrity footer, folds the stream
+back through :func:`repro.telemetry.aggregate.fold_stream`, and adopts
+the folded structures *in place* — so every existing post-run reader of
+``cluster.telemetry`` works unchanged in both modes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.probes import IRQ_KINDS, Telemetry
+
+#: Stream format version, recorded in the header.
+STREAM_VERSION = 1
+
+#: Windows the live control-plane tee retains per series in streaming
+#: mode.  The controller reads back one ``window_us`` (two windows at
+#: window granularity); 64 leaves generous slack for any future reader
+#: while keeping the tee O(1) in run length.
+RETAIN_TEE_WINDOWS = 64
+
+
+def _dumps(record: dict) -> str:
+    # Compact separators; float repr round-trips every IEEE double
+    # exactly, so the fold sees bit-equal values.
+    return json.dumps(record, separators=(",", ":"))
+
+
+class StreamingTelemetry(Telemetry):
+    """Bounded-memory telemetry spilling windowed deltas to JSONL."""
+
+    def __init__(
+        self,
+        reservoir_size: int = 100_000,
+        window_us: float = 10_000.0,
+        spill_path: Optional[str] = None,
+    ):
+        super().__init__(reservoir_size=reservoir_size)
+        if not window_us > 0:
+            raise ValueError(f"window_us must be positive: {window_us}")
+        self.window_us = float(window_us)
+        self._owns_spill = spill_path is None
+        if spill_path is None:
+            fd, path = tempfile.mkstemp(
+                suffix=".jsonl", prefix="telemetry-stream-"
+            )
+            self.spill_path = path
+            self._file = os.fdopen(fd, "w", encoding="utf-8")
+        else:
+            self.spill_path = str(spill_path)
+            self._file = open(self.spill_path, "w", encoding="utf-8")
+        self._file.write(_dumps({
+            "t": "header",
+            "version": STREAM_VERSION,
+            "window_us": self.window_us,
+            "reservoir_size": self.reservoir_size,
+        }) + "\n")
+        self._pending_index: Optional[int] = None
+        self._windows_flushed = 0
+        self._samples_streamed = 0
+        #: Raw samples currently pending (the quantity flushing bounds).
+        self.pending_samples = 0
+        #: Peak of ``pending_samples`` over the run — the probe the
+        #: bounded-memory regression test asserts on.
+        self.high_water_samples = 0
+        self._sealed = False
+        self._reset_pending()
+
+    # -- pending-window buffers -------------------------------------------
+    def _reset_pending(self) -> None:
+        self._p_syscalls: Dict[str, Counter] = {}
+        self._p_runqlat: Dict[str, List[float]] = {}
+        self._p_irq: Dict[str, Dict[str, List[float]]] = {}
+        self._p_ctx: Counter = Counter()
+        self._p_hitm: Counter = Counter()
+        self._p_hitm_remote: Counter = Counter()
+        self._p_retrans = 0
+        self._p_futex: Counter = Counter()
+        self._p_attributed: Dict[str, Dict[str, List[float]]] = {}
+        self._p_hists: Dict[str, List[float]] = {}
+        self._p_counters: Counter = Counter()
+        self._p_events: List[Tuple[float, str]] = []
+        self.pending_samples = 0
+
+    def _pending_empty(self) -> bool:
+        return not (
+            self._p_syscalls or self._p_runqlat or self._p_irq
+            or self._p_ctx or self._p_hitm or self._p_hitm_remote
+            or self._p_retrans or self._p_futex or self._p_attributed
+            or self._p_hists or self._p_counters or self._p_events
+        )
+
+    def _note_sample(self, n: int = 1) -> None:
+        self.pending_samples += n
+        if self.pending_samples > self.high_water_samples:
+            self.high_water_samples = self.pending_samples
+
+    def _roll(self, now: float) -> None:
+        """Flush the pending window when ``now`` has crossed into a new
+        one.  The simulation clock is monotone, so a flushed window never
+        receives another sample."""
+        idx = int(now // self.window_us)
+        if self._pending_index is None:
+            self._pending_index = idx
+        elif idx != self._pending_index:
+            self._flush()
+            self._pending_index = idx
+
+    def _flush(self) -> None:
+        if self._pending_index is None or self._pending_empty():
+            return
+        idx = self._pending_index
+        record: Dict[str, object] = {
+            "t": "w",
+            "i": idx,
+            "start_us": idx * self.window_us,
+            "end_us": (idx + 1) * self.window_us,
+        }
+        if self._p_syscalls:
+            record["syscalls"] = {
+                machine: dict(counts)
+                for machine, counts in self._p_syscalls.items()
+            }
+        if self._p_runqlat:
+            record["runqlat"] = self._p_runqlat
+            self._samples_streamed += sum(
+                len(v) for v in self._p_runqlat.values()
+            )
+        if self._p_irq:
+            record["irq"] = self._p_irq
+            self._samples_streamed += sum(
+                len(v) for kinds in self._p_irq.values()
+                for v in kinds.values()
+            )
+        if self._p_ctx:
+            record["ctx"] = dict(self._p_ctx)
+        if self._p_hitm:
+            record["hitm"] = dict(self._p_hitm)
+        if self._p_hitm_remote:
+            record["hitm_remote"] = dict(self._p_hitm_remote)
+        if self._p_retrans:
+            record["retrans"] = self._p_retrans
+        if self._p_futex:
+            record["futex"] = dict(self._p_futex)
+        if self._p_attributed:
+            record["attributed"] = self._p_attributed
+            self._samples_streamed += sum(
+                len(v) for cats in self._p_attributed.values()
+                for v in cats.values()
+            )
+        if self._p_hists:
+            record["hist"] = self._p_hists
+            self._samples_streamed += sum(
+                len(v) for v in self._p_hists.values()
+            )
+        if self._p_counters:
+            record["counters"] = dict(self._p_counters)
+        if self._p_events:
+            record["events"] = [[t, label] for t, label in self._p_events]
+            self._samples_streamed += len(self._p_events)
+        self._file.write(_dumps(record) + "\n")
+        self._windows_flushed += 1
+        self._reset_pending()
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable_windows(self, width_us: float, prefixes=()) -> None:
+        """Same tee as the buffered hub, but with bounded retention —
+        the controller only ever reads the most recent window_us."""
+        from repro.telemetry.windows import WindowedMetrics
+
+        self.windows = WindowedMetrics(
+            width_us, prefixes, retain_windows=RETAIN_TEE_WINDOWS
+        )
+
+    def open_window(self, start: float) -> None:
+        """Warm-up trim: flush what was recorded so far, then mark the
+        stream so the fold discards it — everything recorded *before
+        this call*, regardless of timestamp, exactly like the buffered
+        ``open_window``."""
+        if self._sealed:
+            super().open_window(start)
+            return
+        self._flush()
+        self._pending_index = None
+        self._file.write(_dumps({"t": "open", "start": start}) + "\n")
+        self.window_start = start
+
+    def finalized(self) -> Telemetry:
+        """Flush, footer, fold, and adopt the folded aggregates in place.
+
+        Returns ``self`` so existing post-run readers of
+        ``cluster.telemetry`` see exactly the buffered structures.
+        """
+        if self._sealed:
+            return self
+        from repro.telemetry.aggregate import fold_stream
+
+        self._flush()
+        self._file.write(_dumps({
+            "t": "end",
+            "windows": self._windows_flushed,
+            "samples": self._samples_streamed,
+        }) + "\n")
+        self._file.close()
+        folded = fold_stream(
+            self.spill_path, reservoir_size=self.reservoir_size
+        )
+        self.syscalls = folded.syscalls
+        self.runqlat = folded.runqlat
+        self.irq_latency = folded.irq_latency
+        self.context_switches = folded.context_switches
+        self.hitm = folded.hitm
+        self.hitm_remote = folded.hitm_remote
+        self.retransmissions = folded.retransmissions
+        self.futex_contended_wakes = folded.futex_contended_wakes
+        self.attributed = folded.attributed
+        self.attributed_counts = folded.attributed_counts
+        self.histograms = folded.histograms
+        self.counters = folded.counters
+        self.events = folded.events
+        self._sealed = True
+        if self._owns_spill:
+            os.unlink(self.spill_path)
+        return self
+
+    def close(self) -> None:
+        """Idempotent cleanup for runs abandoned before ``finalized()``
+        (a truncated stream: no footer, rejected by the aggregator)."""
+        if not self._file.closed:
+            self._file.close()
+            if self._owns_spill and os.path.exists(self.spill_path):
+                os.unlink(self.spill_path)
+
+    # -- kernel probes (same gates as the buffered hub, buffered per
+    # -- window instead of aggregated; after finalized() they fall back to
+    # -- the base implementation so late writes behave exactly buffered) --
+    def count_syscall(self, machine: str, name: str) -> None:
+        if self._sealed:
+            return super().count_syscall(machine, name)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now < self.window_start:
+            return
+        self._roll(now)
+        per_machine = self._p_syscalls.get(machine)
+        if per_machine is None:
+            per_machine = Counter()
+            self._p_syscalls[machine] = per_machine
+        per_machine[name] += 1
+
+    def record_runqlat(self, machine: str, latency_us: float) -> None:
+        if self._sealed:
+            return super().record_runqlat(machine, latency_us)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        # The tee sits before the warm-up gate, as in the buffered hub:
+        # the controller must see warm-up load.
+        if self.windows is not None:
+            self.windows.observe(f"runqlat:{machine}", now, latency_us)
+        if now < self.window_start:
+            return
+        self._roll(now)
+        self._p_runqlat.setdefault(machine, []).append(latency_us)
+        self._note_sample()
+
+    def record_irq(self, machine: str, kind: str, latency_us: float) -> None:
+        if kind not in IRQ_KINDS:
+            raise ValueError(f"unknown irq kind: {kind}")
+        if self._sealed:
+            return super().record_irq(machine, kind, latency_us)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now < self.window_start:
+            return
+        self._roll(now)
+        self._p_irq.setdefault(machine, {}).setdefault(kind, []).append(
+            latency_us
+        )
+        self._note_sample()
+
+    def count_context_switch(self, machine: str) -> None:
+        if self._sealed:
+            return super().count_context_switch(machine)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_ctx[machine] += 1
+
+    def count_hitm(self, machine: str, n: int = 1, remote: bool = False) -> None:
+        if self._sealed:
+            return super().count_hitm(machine, n, remote)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_hitm[machine] += n
+            if remote:
+                self._p_hitm_remote[machine] += n
+
+    def count_retransmission(self) -> None:
+        if self._sealed:
+            return super().count_retransmission()
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_retrans += 1
+
+    def count_contended_wake(self, machine: str) -> None:
+        if self._sealed:
+            return super().count_contended_wake(machine)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_futex[machine] += 1
+
+    def record_attributed(self, machine: str, category: str, us: float) -> None:
+        if self._sealed:
+            return super().record_attributed(machine, category, us)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now < self.window_start:
+            return
+        self._roll(now)
+        self._p_attributed.setdefault(machine, {}).setdefault(
+            category, []
+        ).append(us)
+        self._note_sample()
+
+    # -- generic extension probes ----------------------------------------
+    def record(self, name: str, value: float) -> None:
+        if self._sealed:
+            return super().record(name, value)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if self.windows is not None:
+            self.windows.observe(name, now, value)
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_hists.setdefault(name, []).append(value)
+            self._note_sample()
+
+    def incr(self, name: str, n: int = 1) -> None:
+        if self._sealed:
+            return super().incr(name, n)
+        sim = self._sim
+        now = sim._now if sim is not None else self._clock()
+        if now >= self.window_start:
+            self._roll(now)
+            self._p_counters[name] += n
+
+    def mark(self, label: str) -> None:
+        if self._sealed:
+            return super().mark(label)
+        now = self._clock()
+        self._roll(now)
+        self._p_events.append((now, label))
+        self._note_sample()
+
+    # -- probes ------------------------------------------------------------
+    def retained_samples(self) -> int:
+        """Pending raw samples plus the bounded live tee.  Before
+        finalize the aggregate structures are empty by construction;
+        after it the base accounting (which includes the tee) applies."""
+        if self._sealed:
+            return super().retained_samples()
+        retained = self.pending_samples
+        if self.windows is not None:
+            retained += self.windows.retained_samples()
+        return retained
+
+
+__all__ = ["RETAIN_TEE_WINDOWS", "STREAM_VERSION", "StreamingTelemetry"]

@@ -86,12 +86,22 @@ class WindowedMetrics:
         width_us: float,
         prefixes: Sequence[str] = (),
         start_us: float = 0.0,
+        retain_windows: Optional[int] = None,
     ):
         if width_us <= 0:
             raise ValueError(f"window width must be positive, got {width_us}")
+        if retain_windows is not None and retain_windows < 1:
+            raise ValueError(
+                f"retain_windows must be >= 1, got {retain_windows}"
+            )
         self.width_us = float(width_us)
         self.prefixes: Tuple[str, ...] = tuple(prefixes)
         self.start_us = float(start_us)
+        # None keeps every window (the buffered default); an integer keeps
+        # only the most recent N per series — readers that look back at
+        # most (N-1) windows (the controller reads one window_us) see
+        # identical values, but memory stays O(retained), not O(run).
+        self.retain_windows = retain_windows
         self._series: Dict[str, Dict[int, MetricWindow]] = {}
 
     def wants(self, name: str) -> bool:
@@ -107,12 +117,33 @@ class WindowedMetrics:
         idx = int((now_us - self.start_us) // self.width_us)
         window = series.get(idx)
         if window is None:
-            start = self.start_us + idx * self.width_us
-            window = MetricWindow(index=idx, start_us=start, end_us=start + self.width_us)
+            # Both edges come from the same grid expression, so window k's
+            # end_us is bit-equal to window k+1's start_us.  Computing the
+            # end as ``start + width`` instead can exceed the next grid
+            # point by one ulp for widths that are not exactly
+            # representable, making the window overlap both sides of a
+            # window-aligned cut in windows_between (a double count).
+            window = MetricWindow(
+                index=idx,
+                start_us=self.start_us + idx * self.width_us,
+                end_us=self.start_us + (idx + 1) * self.width_us,
+            )
             series[idx] = window
+            if self.retain_windows is not None:
+                horizon = idx - self.retain_windows
+                for old in [k for k in series if k <= horizon]:
+                    del series[old]
         window.observe(value)
 
     # -- reads -------------------------------------------------------------
+    def retained_samples(self) -> int:
+        """Raw samples currently held across every series and window."""
+        return sum(
+            len(window.samples)
+            for series in self._series.values()
+            for window in series.values()
+        )
+
     def names(self) -> List[str]:
         return sorted(self._series)
 

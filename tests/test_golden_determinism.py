@@ -70,6 +70,35 @@ def test_router_metrics_bit_identical():
     assert r.e2e.percentile(99) == 545.5744019678131
 
 
+# -- streaming telemetry ----------------------------------------------------
+# The goldens above were captured with the buffered hub.  Streaming mode
+# spills windowed deltas and folds them back post-run; its determinism
+# contract says the folded aggregates are bit-identical — so the *same*
+# golden numbers must fall out of a streaming cell, with no re-capture.
+
+def test_hdsearch_goldens_hold_through_streaming_telemetry():
+    from repro.telemetry import TelemetryConfig
+
+    _ClientBase._instances = 0
+    r = characterize(
+        "hdsearch", 1000.0, scale="small", seed=0,
+        duration_us=120_000.0, warmup_us=60_000.0,
+        scale_overrides={"telemetry": TelemetryConfig(mode="streaming")},
+    )
+    assert r.sent == 109
+    assert r.completed == 109
+    assert r.context_switches == 5104
+    assert r.hitm == 13981
+    assert r.retransmissions == 0
+    assert r.e2e.count == 109
+    assert r.e2e.mean == 689.4066756064559
+    assert r.e2e.percentile(50) == 686.799181362243
+    assert r.e2e.percentile(99) == 903.6021952644992
+    assert r.overheads["active_exe"].percentile(99) == 86.60000000000582
+    assert r.overheads["sched"].percentile(50) == 1.1926782919078014
+    assert r.syscalls_per_query["futex"] == 45.4954128440367
+
+
 # -- scale-out topologies ---------------------------------------------------
 # Replicated mid-tiers add a balancer endpoint, per-replica machines, and
 # (for the stochastic policies) an extra named RNG stream — all of which

@@ -1,0 +1,125 @@
+"""The stream aggregator CLI must reject bad streams loudly (exit 2).
+
+A truncated or tampered spill stream folding into silently wrong
+aggregates would defeat the whole determinism contract, so
+``python -m repro.telemetry.aggregate`` validates structure and
+integrity counts before trusting a single record.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import StreamingTelemetry
+from repro.telemetry.aggregate import main
+from repro.telemetry.stream import STREAM_VERSION
+
+
+def _valid_stream(tmp_path, name="stream.jsonl"):
+    spill = tmp_path / name
+    streaming = StreamingTelemetry(window_us=100.0, spill_path=str(spill))
+    clock = {"now": 0.0}
+    streaming.attach_clock(lambda: clock["now"])
+    for i in range(30):
+        clock["now"] = i * 40.0
+        streaming.record("e2e_latency", float(i))
+        streaming.count_syscall("mid", "futex")
+    streaming.finalized()
+    return spill
+
+
+def test_happy_path_exit_zero_and_summary(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    assert main([str(spill)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["histograms"]["e2e_latency"]["count"] == 30
+    assert summary["syscalls"]["mid"]["futex"] == 30
+
+
+def test_output_flag_writes_summary_file(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    out = tmp_path / "summary.json"
+    assert main([str(spill), "--output", str(out)]) == 0
+    capsys.readouterr()
+    summary = json.loads(out.read_text())
+    assert summary["histograms"]["e2e_latency"]["count"] == 30
+
+
+def _expect_reject(path, capsys, needle):
+    assert main([str(path)]) == 2
+    assert needle in capsys.readouterr().out
+
+
+def test_unreadable_path_exit_two(tmp_path, capsys):
+    _expect_reject(tmp_path / "nope.jsonl", capsys, "cannot read")
+
+
+def test_empty_stream_rejected(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    _expect_reject(empty, capsys, "missing header")
+
+
+def test_malformed_json_line_rejected(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    lines[1] = lines[1][:-5] + "{oops"
+    spill.write_text("\n".join(lines) + "\n")
+    _expect_reject(spill, capsys, "malformed JSON")
+
+
+def test_missing_header_rejected(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    spill.write_text("\n".join(lines[1:]) + "\n")
+    _expect_reject(spill, capsys, "expected header")
+
+
+def test_wrong_version_rejected(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = STREAM_VERSION + 1
+    lines[0] = json.dumps(header, separators=(",", ":"))
+    spill.write_text("\n".join(lines) + "\n")
+    _expect_reject(spill, capsys, "unsupported stream version")
+
+
+def test_truncated_stream_rejected(tmp_path, capsys):
+    # Chop the 'end' footer: the run never reached finalized(), so the
+    # stream must not fold to a silently partial summary.
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    assert json.loads(lines[-1])["t"] == "end"
+    spill.write_text("\n".join(lines[:-1]) + "\n")
+    _expect_reject(spill, capsys, "truncated stream")
+
+
+@pytest.mark.parametrize("field", ["windows", "samples"])
+def test_tampered_integrity_counts_rejected(tmp_path, capsys, field):
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    footer = json.loads(lines[-1])
+    footer[field] += 1
+    lines[-1] = json.dumps(footer, separators=(",", ":"))
+    spill.write_text("\n".join(lines) + "\n")
+    _expect_reject(spill, capsys, "integrity")
+
+
+def test_dropped_window_record_rejected(tmp_path, capsys):
+    # Deleting one window record mid-stream breaks the footer counts.
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    kills = [i for i, line in enumerate(lines)
+             if json.loads(line)["t"] == "w"]
+    del lines[kills[len(kills) // 2]]
+    spill.write_text("\n".join(lines) + "\n")
+    _expect_reject(spill, capsys, "integrity")
+
+
+def test_unknown_record_kind_rejected(tmp_path, capsys):
+    spill = _valid_stream(tmp_path)
+    lines = spill.read_text().splitlines()
+    lines.insert(2, json.dumps({"t": "mystery"}, separators=(",", ":")))
+    spill.write_text("\n".join(lines) + "\n")
+    _expect_reject(spill, capsys, "unknown record kind")
