@@ -23,6 +23,13 @@ Three layers, top to bottom:
   attribution engine (:func:`attribute`, :func:`tail_exemplars`,
   :func:`crosscheck` in :mod:`repro.telemetry.critpath`).
 
+Cross-cutting axes: :mod:`repro.energy` (the :class:`EnergyConfig` power
+model, per-core :class:`EnergyAccount`, windowed :class:`EnergyReport`,
+and :func:`attribution_energy` critical-path pricing) and the
+:mod:`repro.graph` granularity transforms (:func:`merge_edge`,
+:func:`split_node`, :func:`monolith`, :func:`work_per_query`,
+:func:`pipeline_graph`).
+
 Anything not re-exported here is internal and may change between
 versions.  See README.md for the architecture map, DESIGN.md for the
 paper-to-substitute inventory, and EXPERIMENTS.md for paper-vs-measured
@@ -64,6 +71,11 @@ _EXPORTS = {
     "build_service": "repro.suite",
     "run_open_loop": "repro.suite.cluster",
     "run_closed_loop": "repro.suite.cluster",
+    # energy: the per-core power model, account, and windowed report
+    "EnergyAccount": "repro.energy",
+    "EnergyConfig": "repro.energy",
+    "EnergyReport": "repro.energy",
+    "attribution_energy": "repro.energy",
     # graph: declarative service-graph DAGs (repro.graph)
     "GraphConfig": "repro.graph",
     "GraphEdge": "repro.graph",
@@ -72,6 +84,12 @@ _EXPORTS = {
     "build_graph": "repro.graph",
     "exemplar_graph": "repro.graph",
     "onehop_graph": "repro.graph",
+    "pipeline_graph": "repro.graph",
+    # graph granularity: tier merge/split transforms (repro.graph)
+    "merge_edge": "repro.graph",
+    "split_node": "repro.graph",
+    "monolith": "repro.graph",
+    "work_per_query": "repro.graph",
     # loadgen: the end-to-end latency histogram name, plus the traffic
     # models (rate curves, variable-rate open loop, session mixes)
     "E2E_HIST": "repro.loadgen.client",

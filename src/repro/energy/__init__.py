@@ -1,0 +1,28 @@
+"""Deterministic per-core energy accounting (config, account, report).
+
+The account integrates each core's busy/idle timeline exactly as the
+scheduler walks it; the report prices those durations with a frozen
+power model.  Disabled by default — with :class:`EnergyConfig.enabled`
+false, nothing here is constructed and the simulator's committed
+goldens stay byte-identical.
+"""
+
+from repro.energy.account import EnergyAccount, MachineEnergy, idle_portions
+from repro.energy.config import EnergyConfig
+from repro.energy.report import (
+    COMPUTE_CATEGORIES,
+    EnergyReport,
+    WAKEUP_CATEGORIES,
+    attribution_energy,
+)
+
+__all__ = [
+    "COMPUTE_CATEGORIES",
+    "EnergyAccount",
+    "EnergyConfig",
+    "EnergyReport",
+    "MachineEnergy",
+    "WAKEUP_CATEGORIES",
+    "attribution_energy",
+    "idle_portions",
+]

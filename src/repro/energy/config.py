@@ -1,0 +1,92 @@
+"""Frozen power-model configuration for the per-core energy account.
+
+The simulator's kernel already *pays* for deep sleep in latency
+(:mod:`repro.kernel.config` C-state exit latencies, DVFS stretch); this
+config prices the same timeline in joules.  Power numbers are per core,
+in watts — and since the simulation clock is in microseconds, one watt
+is exactly one microjoule per microsecond, so every energy integral
+below is a plain ``duration_us × watts`` product with no unit juggling.
+
+Defaults are shaped after Skylake-server per-core package-power splits
+(a few watts active per core, C1 keeping caches/clocks warm at ~1.5 W,
+C1E gating clocks at ~0.8 W, C6 power-gating the core at ~0.1 W) and
+per-transition wakeup costs growing with state depth.  They are a cost
+*model*, calibrated for shape rather than a specific SKU — what the
+experiments reproduce is the tradeoff structure, not a vendor datasheet.
+
+Like :class:`~repro.kernel.config.OsCosts.syscall_us`, the per-state
+tables are tuples of ``(name, value)`` pairs so the config stays
+hashable and frozen; lists coming back from JSON round-trips are
+normalized in ``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-core power model: active watts, per-C-state idle watts, and
+    per-transition wakeup microjoules.
+
+    Disabled by default: nothing is constructed, no scheduler hook runs,
+    and every committed golden stays byte-identical.  Enabling it adds
+    accounting only — it never changes a timestamp, an RNG draw, or a
+    scheduling decision, so metrics with it on or off are identical.
+    """
+
+    enabled: bool = False
+    #: Power while a core executes (compute, syscalls, switch costs).
+    active_w: float = 3.5
+    #: Idle power by C-state, per core.  The account integrates a core's
+    #: idle span *stepwise* through these states: the first 20 µs at C1
+    #: power, then C1E until 600 µs, then C6 — matching the thresholds
+    #: the kernel's exit-latency table uses (DEFAULT_CSTATES).
+    idle_w: Tuple[Tuple[str, float], ...] = (
+        ("C1", 1.5),
+        ("C1E", 0.8),
+        ("C6", 0.1),
+    )
+    #: Energy burned per wakeup transition, by the state woken *from*
+    #: (voltage ramp, cache warm-up, IPI handling).
+    wake_uj: Tuple[Tuple[str, float], ...] = (
+        ("C1", 2.0),
+        ("C1E", 8.0),
+        ("C6", 40.0),
+    )
+
+    def __post_init__(self) -> None:
+        # JSON round-trips hand back lists of lists; normalize to the
+        # hashable tuple-of-pairs form so from_dict(to_dict(x)) == x.
+        for table in ("idle_w", "wake_uj"):
+            pairs = tuple(
+                (str(state), float(value)) for state, value in getattr(self, table)
+            )
+            object.__setattr__(self, table, pairs)
+        if self.active_w <= 0:
+            raise ValueError(f"active_w must be positive: {self.active_w}")
+        for table in ("idle_w", "wake_uj"):
+            for state, value in getattr(self, table):
+                if value < 0:
+                    raise ValueError(
+                        f"{table}[{state!r}] must be >= 0: {value}"
+                    )
+
+    def idle_watts(self, state: str) -> float:
+        """Idle power for C-state ``state``; KeyError when unpriced."""
+        for known, watts in self.idle_w:
+            if known == state:
+                return watts
+        raise KeyError(f"no idle power for C-state: {state}")
+
+    def wake_joules_uj(self, state: str) -> float:
+        """Wakeup energy (µJ) for a transition out of ``state``."""
+        for known, uj in self.wake_uj:
+            if known == state:
+                return uj
+        raise KeyError(f"no wakeup energy for C-state: {state}")
+
+
+__all__ = ["EnergyConfig"]

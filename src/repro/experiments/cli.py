@@ -13,15 +13,22 @@ Examples::
     usuite poolsize --service setalgebra --qps 5000
     usuite perf --output BENCH_engine.json
     usuite faults --output BENCH_faults.json
+    usuite energy --output BENCH_energy.json
     usuite figure-smoke --output smoke.json
     usuite all            # every artifact, in order (slow)
+
+Flags shared across sweeps (``--seed``, ``--scale``, the QPS grid, the
+``--telemetry-*`` trio, positive-argument guards) are declared once in
+the parent-parser factories below and composed into each subcommand via
+``argparse``'s ``parents=`` mechanism, so a new sweep inherits the whole
+vocabulary without re-spelling a single flag.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.midcache import CACHE_POLICIES
 from repro.suite.registry import SERVICE_NAMES
@@ -54,47 +61,146 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", default="small", help="scale name (small, unit)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
+# ---------------------------------------------------------------------------
+# Shared flag vocabulary.  Each factory returns a fresh ``add_help=False``
+# parser for ``add_parser(..., parents=[...])``; a flag is spelled exactly
+# once here, and factories take a ``default``/``help`` override where
+# sweeps legitimately differ.
+# ---------------------------------------------------------------------------
+
+
+def _scale_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scale", default="small", help="scale name (small, unit)")
+    return parent
+
+
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0)
+    return parent
+
+
+def _measure_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--min-queries", type=int, default=600,
         help="measured queries per cell (longer = tighter tails)",
     )
+    return parent
 
 
-def _add_services(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--services", nargs="+", choices=SERVICE_NAMES, default=list(SERVICE_NAMES)
+def _common_parents() -> List[argparse.ArgumentParser]:
+    """``--scale --seed --min-queries``: the figure-sweep staple."""
+    return [_scale_parent(), _seed_parent(), _measure_parent()]
+
+
+def _services_parent(
+    default: Optional[Sequence[str]] = SERVICE_NAMES,
+    help: Optional[str] = None,
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    kwargs = {"help": help} if help is not None else {}
+    parent.add_argument(
+        "--services", nargs="+", choices=SERVICE_NAMES,
+        default=list(default) if default is not None else None, **kwargs
     )
+    return parent
 
 
-def _add_loads(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--loads", nargs="+", type=float, default=[100.0, 1_000.0, 10_000.0]
+def _service_parent(default: str = "hdsearch") -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--service", choices=SERVICE_NAMES, default=default)
+    return parent
+
+
+def _loads_parent(
+    default: Optional[Sequence[float]] = (100.0, 1_000.0, 10_000.0),
+    help: Optional[str] = None,
+) -> argparse.ArgumentParser:
+    """The QPS grid every latency sweep iterates."""
+    parent = argparse.ArgumentParser(add_help=False)
+    kwargs = {"help": help} if help is not None else {}
+    parent.add_argument(
+        "--loads", nargs="+", type=float,
+        default=list(default) if default is not None else None, **kwargs
     )
+    return parent
 
 
-def _add_telemetry(parser: argparse.ArgumentParser) -> None:
-    """Telemetry-mode flags shared by every sweep that supports them."""
+def _qps_parent(
+    default: Optional[float], help: Optional[str] = None
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    kwargs = {"help": help} if help is not None else {}
+    parent.add_argument("--qps", type=float, default=default, **kwargs)
+    return parent
+
+
+def _duration_parent(
+    default: Optional[float] = None,
+    help: str = "measured window per cell (default: 500 ms)",
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--duration-us", type=_positive_float, default=default, help=help
+    )
+    return parent
+
+
+def _queries_parent(help: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--queries", type=_positive_int, default=None, help=help)
+    return parent
+
+
+def _workload_queries_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workload-queries", type=_positive_int, default=None,
+        help="distinct queries in the cycling workload (default: 300)",
+    )
+    return parent
+
+
+def _output_parent(
+    example: Optional[str] = None, help: Optional[str] = None
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    if help is None:
+        help = f"record the run into this JSON file (e.g. {example})"
+    parent.add_argument("--output", default=None, metavar="PATH", help=help)
+    return parent
+
+
+def _plot_parent(help: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--plot", action="store_true", help=help)
+    return parent
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """The ``--telemetry-*`` trio shared by every sweep that supports it."""
     from repro.telemetry import TELEMETRY_MODES
 
-    parser.add_argument(
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--telemetry-mode", choices=TELEMETRY_MODES, default="buffered",
         help="telemetry aggregation: 'buffered' keeps the historical "
         "in-memory hub; 'streaming' spills windowed deltas to a JSONL "
         "stream at bounded memory (bit-identical aggregates)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--telemetry-window-us", type=_positive_float, default=None,
         help="streaming flush window width in us (default: 10000)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--telemetry-spill", default=None, metavar="PATH",
         help="streaming spill file (default: an unlinked temp file; with "
         "multi-cell sweeps each cell rewrites the same path, so the file "
         "holds the last cell's stream)",
     )
+    return parent
 
 
 def _telemetry_config(args):
@@ -126,79 +232,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("fig9", help="saturation throughput per service")
-    _add_common(p)
-    _add_services(p)
-    p.add_argument("--duration-us", type=_positive_float, default=400_000.0)
+    sub.add_parser(
+        "fig9", help="saturation throughput per service",
+        parents=_common_parents() + [
+            _services_parent(),
+            _duration_parent(400_000.0, help="measured window per cell"),
+        ],
+    )
 
-    p = sub.add_parser("fig10", help="end-to-end latency across loads")
-    _add_common(p)
-    _add_services(p)
-    _add_loads(p)
-    p.add_argument("--plot", action="store_true",
-                   help="render the latency distributions as text violins")
+    sub.add_parser(
+        "fig10", help="end-to-end latency across loads",
+        parents=_common_parents() + [
+            _services_parent(), _loads_parent(),
+            _plot_parent("render the latency distributions as text violins"),
+        ],
+    )
 
-    p = sub.add_parser("syscalls", help="Figs 11-14: syscall profile")
-    _add_common(p)
-    _add_services(p)
-    _add_loads(p)
+    sub.add_parser(
+        "syscalls", help="Figs 11-14: syscall profile",
+        parents=_common_parents() + [_services_parent(), _loads_parent()],
+    )
 
-    p = sub.add_parser("overheads", help="Figs 15-18: OS overhead breakdown")
-    _add_common(p)
-    _add_services(p)
-    _add_loads(p)
-    p.add_argument("--plot", action="store_true",
-                   help="render the overhead distributions as text violins")
+    sub.add_parser(
+        "overheads", help="Figs 15-18: OS overhead breakdown",
+        parents=_common_parents() + [
+            _services_parent(), _loads_parent(),
+            _plot_parent("render the overhead distributions as text violins"),
+        ],
+    )
 
-    p = sub.add_parser("fig19", help="context switches and HITM")
-    _add_common(p)
-    _add_services(p)
-    _add_loads(p)
+    sub.add_parser(
+        "fig19", help="context switches and HITM",
+        parents=_common_parents() + [_services_parent(), _loads_parent()],
+    )
 
-    p = sub.add_parser("headline", help="scheduler policy A/B + ablation")
-    _add_common(p)
-    _add_services(p)
-    p.add_argument("--loads", nargs="+", type=float, default=[1_000.0, 10_000.0])
+    sub.add_parser(
+        "headline", help="scheduler policy A/B + ablation",
+        parents=_common_parents() + [
+            _services_parent(), _loads_parent((1_000.0, 10_000.0)),
+        ],
+    )
 
-    p = sub.add_parser("block-poll", help="blocking vs polling reception")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    _add_loads(p)
+    sub.add_parser(
+        "block-poll", help="blocking vs polling reception",
+        parents=_common_parents() + [_service_parent(), _loads_parent()],
+    )
 
-    p = sub.add_parser("inline-dispatch", help="in-line vs dispatched processing")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    _add_loads(p)
-
-    p = sub.add_parser("poolsize", help="worker thread-pool sweep")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    p.add_argument("--qps", type=float, default=5_000.0)
-    p.add_argument("--workers", nargs="+", type=int, default=[1, 2, 4, 8, 16, 32])
-
-    p = sub.add_parser("adaptive", help="adaptive runtime vs static block/poll")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    p.add_argument("--loads", nargs="+", type=float, default=[100.0, 1_000.0, 8_000.0])
-
-    p = sub.add_parser("compression", help="posting-list codec trade-off")
-    _add_common(p)
-
-    p = sub.add_parser("sweep", help="latency vs offered load (hockey stick)")
-    _add_common(p)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    p.add_argument("--loads", nargs="+", type=float, default=None)
+    sub.add_parser(
+        "inline-dispatch", help="in-line vs dispatched processing",
+        parents=_common_parents() + [_service_parent(), _loads_parent()],
+    )
 
     p = sub.add_parser(
-        "trace", help="per-request critical-path attribution sweep"
+        "poolsize", help="worker thread-pool sweep",
+        parents=_common_parents() + [_service_parent(), _qps_parent(5_000.0)],
     )
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    _add_services(p)
-    p.add_argument("--loads", nargs="+", type=float, default=None,
-                   help="offered loads in QPS (default: 100 1000 10000)")
-    p.add_argument("--queries", type=_positive_int, default=None,
-                   help="queries per cell (default: 2000; duration scales 1/qps)")
+    p.add_argument("--workers", nargs="+", type=int, default=[1, 2, 4, 8, 16, 32])
+
+    sub.add_parser(
+        "adaptive", help="adaptive runtime vs static block/poll",
+        parents=_common_parents() + [
+            _service_parent(), _loads_parent((100.0, 1_000.0, 8_000.0)),
+        ],
+    )
+
+    sub.add_parser(
+        "compression", help="posting-list codec trade-off",
+        parents=_common_parents(),
+    )
+
+    sub.add_parser(
+        "sweep", help="latency vs offered load (hockey stick)",
+        parents=_common_parents() + [_service_parent(), _loads_parent(None)],
+    )
+
+    p = sub.add_parser(
+        "trace", help="per-request critical-path attribution sweep",
+        parents=[
+            _scale_parent(), _seed_parent(), _services_parent(),
+            _loads_parent(None, help="offered loads in QPS "
+                          "(default: 100 1000 10000)"),
+            _queries_parent("queries per cell (default: 2000; duration "
+                            "scales 1/qps)"),
+            _output_parent("BENCH_trace.json"),
+            _telemetry_parent(),
+        ],
+    )
     p.add_argument("--sample-every", type=_positive_int, default=1,
                    help="trace every Nth request (1 = all; required for the "
                    "telemetry cross-check gate)")
@@ -206,81 +325,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tail exemplars mined per cell")
     p.add_argument("--show", type=int, default=3,
                    help="slowest exemplars to print per cell")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_trace.json)")
-    _add_telemetry(p)
 
-    p = sub.add_parser("perf", help="engine throughput on the standard 10K QPS cell")
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
-    p.add_argument("--qps", type=float, default=10_000.0)
-    p.add_argument("--duration-us", type=_positive_float, default=None,
-                   help="measured window (default: the standard cell's 500 ms)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_engine.json)")
+    p = sub.add_parser(
+        "perf", help="engine throughput on the standard 10K QPS cell",
+        parents=[
+            _scale_parent(), _seed_parent(), _service_parent(),
+            _qps_parent(10_000.0),
+            _duration_parent(help="measured window (default: the standard "
+                             "cell's 500 ms)"),
+            _output_parent("BENCH_engine.json"),
+            _telemetry_parent(),
+        ],
+    )
     p.add_argument("--record", choices=["before", "after"], default="after",
                    help="which slot of the JSON artifact to fill")
-    _add_telemetry(p)
 
-    p = sub.add_parser("faults", help="fault injection x tail-tolerance sweep")
-    _add_common(p)
-    _add_services(p)
-    p.add_argument("--qps", type=float, default=10_000.0)
+    p = sub.add_parser(
+        "faults", help="fault injection x tail-tolerance sweep",
+        parents=_common_parents() + [
+            _services_parent(), _qps_parent(10_000.0), _duration_parent(),
+            _output_parent("BENCH_faults.json"),
+            _telemetry_parent(),
+        ],
+    )
     p.add_argument("--intensities", nargs="+", type=float, default=[0.02, 0.05])
-    p.add_argument("--duration-us", type=_positive_float, default=None,
-                   help="measured window per cell (default: 500 ms)")
     p.add_argument("--sweep", action="store_true",
                    help="also run the service x intensity x policy sweep "
                    "(slow; the default runs only the recovery triple)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_faults.json)")
-    _add_telemetry(p)
 
-    p = sub.add_parser("scale", help="mid-tier replicas x balancing policy sweep")
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
+    p = sub.add_parser(
+        "scale", help="mid-tier replicas x balancing policy sweep",
+        parents=[
+            _scale_parent(), _seed_parent(), _service_parent(),
+            _loads_parent(None, help="offered loads in QPS for the tail cells"),
+            _duration_parent(),
+            _output_parent("BENCH_scale.json"),
+            _telemetry_parent(),
+        ],
+    )
     p.add_argument("--replicas", nargs="+", type=int, default=None,
                    help="replica counts to sweep (default: 1 2 3)")
     p.add_argument("--policies", nargs="+", default=None, metavar="POLICY",
                    help="balancing policies (default: all four)")
-    p.add_argument("--loads", nargs="+", type=float, default=None,
-                   help="offered loads in QPS for the tail cells")
-    p.add_argument("--duration-us", type=_positive_float, default=None,
-                   help="measured window per cell (default: 500 ms)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_scale.json)")
-    _add_telemetry(p)
 
-    p = sub.add_parser("cache", help="leaf batching x result cache sweep")
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--services", nargs="+", choices=SERVICE_NAMES,
-                   default=list(SERVICE_NAMES))
-    p.add_argument("--loads", nargs="+", type=float, default=None,
-                   help="offered loads in QPS (default: 1000 10000)")
+    p = sub.add_parser(
+        "cache", help="leaf batching x result cache sweep",
+        parents=[
+            _scale_parent(), _seed_parent(), _services_parent(),
+            _loads_parent(None, help="offered loads in QPS "
+                          "(default: 1000 10000)"),
+            _duration_parent(help="measured window per cell (default: 400 ms)"),
+            _output_parent("BENCH_cache.json"),
+            _telemetry_parent(),
+        ],
+    )
     p.add_argument("--batch-sizes", nargs="+", type=_positive_int, default=None,
                    metavar="N", help="batch-size axis (default: 4 8 16)")
     p.add_argument("--capacity", nargs="+", type=_positive_int, default=None,
                    metavar="N", help="cache-capacity axis (default: 256 1024 4096)")
     p.add_argument("--policy", choices=CACHE_POLICIES, default="lru",
                    help="cache eviction policy")
-    p.add_argument("--duration-us", type=_positive_float, default=None,
-                   help="measured window per cell (default: 400 ms)")
     p.add_argument("--no-axes", action="store_true",
                    help="skip the batch-size / capacity axes (off-vs-on only)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_cache.json)")
-    _add_telemetry(p)
 
     p = sub.add_parser(
         "autoscale",
         help="closed-loop controller vs static replicas (diurnal + antagonist)",
+        parents=[
+            _scale_parent(), _seed_parent(), _service_parent(),
+            _duration_parent(help="measured window = one diurnal period "
+                             "(default: 1.6 s)"),
+            _output_parent("BENCH_autoscale.json"),
+            _telemetry_parent(),
+        ],
     )
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--service", choices=SERVICE_NAMES, default="hdsearch")
     p.add_argument("--base-qps", type=_positive_float, default=None,
                    help="diurnal curve mean rate (default: 5200)")
     p.add_argument("--amplitude", type=float, default=None,
@@ -288,45 +406,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", nargs="+", type=_positive_int, default=None,
                    help="static grid replica counts; the controller's warm "
                    "pool is the max (default: 1 2 3)")
-    p.add_argument("--duration-us", type=_positive_float, default=None,
-                   help="measured window = one diurnal period (default: 1.6 s)")
     p.add_argument("--tick-us", type=_positive_float, default=None,
                    help="controller tick (default: 20 ms)")
     p.add_argument("--window-us", type=_positive_float, default=None,
                    help="telemetry window width (default: 20 ms)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file "
-                   "(e.g. BENCH_autoscale.json)")
-    _add_telemetry(p)
 
     p = sub.add_parser(
-        "graph", help="service-graph DAG tail-amplification sweep"
+        "graph", help="service-graph DAG tail-amplification sweep",
+        parents=[
+            _seed_parent(),
+            _qps_parent(None, help="offered load per amplification cell "
+                        "(default: 1200)"),
+            _queries_parent("queries per cell (default: 2500; duration "
+                            "scales 1/qps)"),
+            _workload_queries_parent(),
+            _output_parent("BENCH_graph.json"),
+            _telemetry_parent(),
+        ],
     )
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--qps", type=float, default=None,
-                   help="offered load per amplification cell (default: 1200)")
-    p.add_argument("--queries", type=_positive_int, default=None,
-                   help="queries per cell (default: 2500; duration scales 1/qps)")
-    p.add_argument("--workload-queries", type=_positive_int, default=None,
-                   help="distinct queries in the cycling workload (default: 300)")
     p.add_argument("--intensity", type=float, default=None,
                    help="Pareto tail probability at the injected storage leaf "
                    "(default: 0.02)")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="record the run into this JSON file (e.g. BENCH_graph.json)")
-    _add_telemetry(p)
 
-    p = sub.add_parser("figure-smoke",
-                       help="tiny fig9/fig10/fig15-18 cells + paper-shape checks")
-    p.add_argument("--scale", default="small", help="scale name (small, unit)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--services", nargs="+", choices=SERVICE_NAMES,
-                   default=None, help="default: hdsearch router")
-    p.add_argument("--output", default=None, metavar="PATH",
-                   help="write the metrics/checks JSON artifact here")
+    p = sub.add_parser(
+        "energy",
+        help="per-core joules vs tier granularity + low-load C-state tension",
+        parents=[
+            _seed_parent(),
+            _qps_parent(None, help="offered load per ladder cell "
+                        "(default: 600)"),
+            _queries_parent("queries per ladder cell (default: 1000; "
+                            "duration scales 1/qps)"),
+            _workload_queries_parent(),
+            _output_parent("BENCH_energy.json"),
+            _telemetry_parent(),
+        ],
+    )
+    p.add_argument("--tiers", type=_positive_int, default=None,
+                   help="pipeline depth of the finest ladder rung "
+                   "(default: 4; must be >= 3)")
+    p.add_argument("--lowload-qps", type=float, default=None,
+                   help="offered load for the C-state tension pair "
+                   "(default: 100)")
+    p.add_argument("--lowload-queries", type=_positive_int, default=None,
+                   help="queries per low-load cell (default: 400)")
 
-    p = sub.add_parser("all", help="every artifact in sequence (slow)")
-    _add_common(p)
+    sub.add_parser(
+        "figure-smoke",
+        help="tiny fig9/fig10/fig15-18 cells + paper-shape checks",
+        parents=[
+            _scale_parent(), _seed_parent(),
+            _services_parent(None, help="default: hdsearch router"),
+            _output_parent(help="write the metrics/checks JSON artifact here"),
+        ],
+    )
+
+    sub.add_parser("all", help="every artifact in sequence (slow)",
+                   parents=_common_parents())
 
     return parser
 
@@ -684,6 +820,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.intensity if args.intensity is not None
                     else graph_sweep.INJECT_INTENSITY
                 ),
+                telemetry=_telemetry_config(args),
+            ),
+            output=args.output,
+        )
+        if not args.output and outcome.checks is not None:
+            print(f"acceptance: {'pass' if outcome.checks['pass'] else 'FAIL'}")
+        return outcome.exit_code
+
+    elif command == "energy":
+        from repro.experiments import energy_sweep
+        from repro.experiments.runner import run_experiment
+
+        print("Energy sweep — tier granularity + low-load C-state tension")
+        outcome = run_experiment(
+            energy_sweep.EXPERIMENT,
+            params=dict(
+                qps=args.qps or energy_sweep.QPS,
+                queries=args.queries or energy_sweep.QUERIES_PER_CELL,
+                tiers=args.tiers or energy_sweep.TIERS,
+                lowload_qps=args.lowload_qps or energy_sweep.LOWLOAD_QPS,
+                lowload_queries=(
+                    args.lowload_queries or energy_sweep.LOWLOAD_QUERIES
+                ),
+                workload_queries=(
+                    args.workload_queries or energy_sweep.WORKLOAD_QUERIES
+                ),
+                seed=args.seed,
                 telemetry=_telemetry_config(args),
             ),
             output=args.output,

@@ -152,6 +152,24 @@ def _probe_autoscale(doc: dict) -> Tuple[dict, dict, str]:
     )
 
 
+def _probe_energy(doc: dict) -> Tuple[dict, dict, str]:
+    from repro.experiments import energy_sweep
+    from repro.graph import pipeline_graph
+
+    first = doc["reproducibility"]["first"]
+    cell = energy_sweep.measure_energy_cell(
+        pipeline_graph(first["tiers"], n_queries=doc["workload_queries"]),
+        qps=doc["qps"],
+        seed=doc["seed"],
+        queries=doc["queries_per_cell"],
+    )
+    return (
+        asdict(cell),
+        first,
+        f"{first['tiers']}-tier rung @ {doc['qps']:g} QPS energy cell",
+    )
+
+
 def _probe_trace_streaming(doc: dict) -> Tuple[dict, dict, str]:
     """The pinned trace cell again, but through streaming telemetry.
 
@@ -189,6 +207,7 @@ PROBES: Dict[str, Callable[[dict], Tuple[dict, dict, str]]] = {
     "BENCH_scale.json": _probe_scale,
     "BENCH_faults.json": _probe_faults,
     "BENCH_autoscale.json": _probe_autoscale,
+    "BENCH_energy.json": _probe_energy,
 }
 
 #: Streaming-equivalence re-runs: the same committed bytes must also

@@ -89,7 +89,10 @@ def build_cluster(
     if overrides:
         built = built.with_overrides(**overrides)
     pin_arrivals()
-    cluster = SimCluster(seed=seed, faults=faults, telemetry=built.telemetry)
+    cluster = SimCluster(
+        seed=seed, faults=faults, telemetry=built.telemetry,
+        energy=built.energy,
+    )
     try:
         handle = build_service(
             service, cluster, built,

@@ -19,7 +19,14 @@ from repro.graph.config import (
     GraphError,
     GraphNode,
 )
-from repro.graph.exemplar import exemplar_graph, onehop_graph
+from repro.graph.exemplar import exemplar_graph, onehop_graph, pipeline_graph
+from repro.graph.granularity import (
+    coarsen_once,
+    merge_edge,
+    monolith,
+    split_node,
+    work_per_query,
+)
 
 __all__ = [
     "EDGE_MODES",
@@ -28,6 +35,12 @@ __all__ = [
     "GraphError",
     "GraphNode",
     "build_graph",
+    "coarsen_once",
     "exemplar_graph",
+    "merge_edge",
+    "monolith",
     "onehop_graph",
+    "pipeline_graph",
+    "split_node",
+    "work_per_query",
 ]

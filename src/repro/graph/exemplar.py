@@ -48,6 +48,47 @@ def exemplar_graph(n_queries: int = 2000) -> GraphConfig:
     )
 
 
+def pipeline_graph(
+    tiers: int = 4,
+    n_queries: int = 2000,
+    service_us: float = 40.0,
+    merge_us: float = 4.0,
+    cores_per_tier: int = 2,
+) -> GraphConfig:
+    """A linear ``tiers``-deep chain for granularity studies.
+
+    ``stage0 -> stage1 -> ... -> stage{n-1}``, each stage doing the same
+    per-visit work on the same core count; the terminal stage declares no
+    merge work (leaves never charge it), so the chain merges cleanly all
+    the way to a monolith.  Coarsening with
+    :func:`~repro.graph.granularity.coarsen_once` walks the granularity
+    ladder at constant total cores and constant
+    :func:`~repro.graph.granularity.work_per_query` — only the hop count
+    (and with it the wakeup/idle structure) changes.
+    """
+    if tiers < 1:
+        raise ValueError(f"tiers must be >= 1: {tiers}")
+    nodes = tuple(
+        GraphNode(
+            name=f"stage{i}",
+            service_us=service_us,
+            merge_us=merge_us if i < tiers - 1 else 0.0,
+            cores=cores_per_tier,
+        )
+        for i in range(tiers)
+    )
+    edges = tuple(
+        GraphEdge(src=f"stage{i}", dst=f"stage{i + 1}") for i in range(tiers - 1)
+    )
+    return GraphConfig(
+        name=f"pipeline{tiers}",
+        root="stage0",
+        n_queries=n_queries,
+        nodes=nodes,
+        edges=edges,
+    )
+
+
 def onehop_graph(n_queries: int = 2000) -> GraphConfig:
     """The μSuite-shaped one-hop baseline: gateway → 4 storage reads."""
     return GraphConfig(
@@ -63,4 +104,4 @@ def onehop_graph(n_queries: int = 2000) -> GraphConfig:
     )
 
 
-__all__ = ["exemplar_graph", "onehop_graph"]
+__all__ = ["exemplar_graph", "onehop_graph", "pipeline_graph"]

@@ -1,0 +1,295 @@
+"""Tier-granularity transforms: merge and split graph tiers.
+
+Microservice granularity — how finely an application is decomposed into
+RPC tiers — trades energy against performance (arXiv:2502.00482): every
+extra hop adds network/OS overhead and fragments idle time into shallow
+C-state residencies, while a coarser deployment loses isolation and
+per-tier scaling.  These transforms walk a :class:`GraphConfig` along
+that axis without changing *what* the application computes:
+
+* :func:`merge_edge` absorbs a callee tier into its caller (one fewer
+  hop; cores are pooled, the callee's per-visit work folds into the
+  caller scaled by the edge fan-out, grandchild calls are lifted);
+* :func:`split_node` cuts one tier into a front/back pair joined by a
+  sync edge (one more hop; cores and service time are divided);
+* :func:`coarsen_once` / :func:`monolith` iterate merges toward the
+  single-tier deployment.
+
+All transforms preserve :func:`work_per_query` — the expected compute a
+query charges across the graph — and call semantics: only sync,
+single-parent, default-knob edges merge, so request/response ordering
+and side effects are unchanged.  Anything else raises
+:class:`~repro.graph.config.GraphError` naming the obstacle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.control.config import ControlConfig
+from repro.graph.config import GraphConfig, GraphEdge, GraphError, GraphNode
+from repro.suite.config import BatchConfig, CacheConfig, LbConfig
+
+
+def work_per_query(graph: GraphConfig) -> float:
+    """Expected compute (µs) one client query charges across the graph.
+
+    Per node: visits × service_us, plus visits × merge_us for internal
+    nodes (the builder charges response-path merge on internal nodes
+    only).  This is the invariant :func:`merge_edge` and
+    :func:`split_node` preserve.
+    """
+    visits = graph.visits_per_query()
+    internal = {edge.src for edge in graph.edges}
+    total = 0.0
+    for node in graph.nodes:
+        total += visits[node.name] * node.service_us
+        if node.name in internal:
+            total += visits[node.name] * node.merge_us
+    return total
+
+
+def _require_default_knobs(node: GraphNode, role: str) -> None:
+    """Transforms refuse nodes with non-default per-node knobs: there is
+    no faithful way to split a cache in two or decide which half of a
+    merged tier keeps a batcher."""
+    for attr, default in (
+        ("lb", LbConfig()),
+        ("batch", BatchConfig()),
+        ("cache", CacheConfig()),
+        ("control", ControlConfig()),
+    ):
+        if getattr(node, attr) != default:
+            raise GraphError(
+                f"{role} node {node.name!r} has a non-default {attr} config; "
+                "granularity transforms require default per-node knobs"
+            )
+    if node.runtime is not None:
+        raise GraphError(
+            f"{role} node {node.name!r} pins a runtime config; granularity "
+            "transforms require the builder's role default"
+        )
+    if node.replicas != 1:
+        raise GraphError(
+            f"{role} node {node.name!r} has replicas={node.replicas}; "
+            "granularity transforms require unreplicated tiers"
+        )
+
+
+def merge_edge(graph: GraphConfig, src: str, dst: str) -> GraphConfig:
+    """Absorb tier ``dst`` into its caller ``src`` (one fewer hop).
+
+    The merged node is named ``src+dst``, pools both tiers' cores, and
+    does ``dst``'s work in-process: its service/merge times grow by the
+    edge fan-out times ``dst``'s, and ``dst``'s outgoing calls are
+    lifted onto the merged node with their fan-outs multiplied by the
+    merged edge's — so every surviving node's visits per query, and
+    :func:`work_per_query`, are unchanged.
+
+    Only a sync edge to a single-parent, unreplicated, default-knob,
+    non-root ``dst`` merges; a terminal ``dst`` must not declare merge
+    work (it never charges any).  Violations raise
+    :class:`~repro.graph.config.GraphError`.
+    """
+    edge = next(
+        (e for e in graph.edges if e.src == src and e.dst == dst), None
+    )
+    if edge is None:
+        raise GraphError(f"graph {graph.name!r} has no edge {src}->{dst}")
+    if edge.mode != "sync":
+        raise GraphError(
+            f"cannot merge async edge {src}->{dst}: a fire-and-forget side "
+            "effect has no in-process equivalent"
+        )
+    if dst == graph.root:
+        raise GraphError(f"cannot merge the root node {dst!r} into a caller")
+    parents = [e for e in graph.edges if e.dst == dst]
+    if len(parents) != 1:
+        others = ", ".join(sorted(e.src for e in parents if e.src != src))
+        raise GraphError(
+            f"cannot merge {src}->{dst}: {dst!r} has other caller(s) "
+            f"({others}) that would lose their callee"
+        )
+    src_node = graph.node(src)
+    dst_node = graph.node(dst)
+    _require_default_knobs(dst_node, "merge target")
+    if src_node.replicas != 1:
+        raise GraphError(
+            f"merge caller {src!r} has replicas={src_node.replicas}; "
+            "granularity transforms require unreplicated tiers"
+        )
+    dst_children = graph.children(dst)
+    if not dst_children and dst_node.merge_us != 0.0:
+        raise GraphError(
+            f"cannot merge terminal {dst!r} with merge_us="
+            f"{dst_node.merge_us}: a leaf never charges merge work, so "
+            "folding it in would change work_per_query"
+        )
+    merged_name = f"{src}+{dst}"
+    if any(node.name == merged_name for node in graph.nodes):
+        raise GraphError(
+            f"merged name {merged_name!r} collides with an existing node"
+        )
+    fanout = edge.fanout
+    service_us = src_node.service_us + fanout * dst_node.service_us
+    merge_us = src_node.merge_us + fanout * dst_node.merge_us
+    # Rebuild edges in declaration order: drop the merged edge, rename
+    # src endpoints, lift dst's calls (fan-out multiplied) in place.
+    new_edges: List[GraphEdge] = []
+    for e in graph.edges:
+        if e is edge:
+            continue
+        if e.src == dst:
+            new_edges.append(
+                replace(e, src=merged_name, fanout=e.fanout * fanout)
+            )
+        elif e.src == src:
+            new_edges.append(replace(e, src=merged_name))
+        elif e.dst == src:
+            new_edges.append(replace(e, dst=merged_name))
+        else:
+            new_edges.append(e)
+    targets = [e.dst for e in new_edges if e.src == merged_name]
+    dupes = sorted({t for t in targets if targets.count(t) > 1})
+    if dupes:
+        raise GraphError(
+            f"cannot merge {src}->{dst}: both call {', '.join(dupes)}, and "
+            "the lifted edges would duplicate the pair"
+        )
+    if not targets:
+        # The merged tier is a leaf: its merge phase disappears from the
+        # charged path, so fold it into service to keep work invariant.
+        service_us += merge_us
+        merge_us = 0.0
+    merged = replace(
+        src_node,
+        name=merged_name,
+        service_us=service_us,
+        merge_us=merge_us,
+        cores=src_node.cores + dst_node.cores,
+    )
+    new_nodes = tuple(
+        merged if node.name == src else node
+        for node in graph.nodes
+        if node.name != dst
+    )
+    return replace(
+        graph,
+        nodes=new_nodes,
+        edges=tuple(new_edges),
+        root=merged_name if graph.root == src else graph.root,
+    )
+
+
+def split_node(graph: GraphConfig, name: str, ratio: float = 0.5) -> GraphConfig:
+    """Cut tier ``name`` into ``name-front`` → ``name-back`` (one more hop).
+
+    The front gets ``ratio`` of the service time and (about) ``ratio``
+    of the cores and forwards every request to the back over a new sync
+    edge; the back gets the exact remainder of the service time, the
+    original merge work, and the original outgoing calls — so
+    :func:`work_per_query` is unchanged (``split_node`` is a one-step
+    inverse of :func:`merge_edge` up to naming).  Requires an
+    unreplicated, default-knob node with at least 2 cores and
+    ``0 < ratio < 1``.
+    """
+    if not 0.0 < ratio < 1.0:
+        raise GraphError(f"split ratio must be in (0, 1): {ratio}")
+    try:
+        node = graph.node(name)
+    except KeyError:
+        raise GraphError(f"graph {graph.name!r} has no node {name!r}") from None
+    _require_default_knobs(node, "split")
+    if node.cores < 2:
+        raise GraphError(
+            f"cannot split {name!r} with cores={node.cores}: both halves "
+            "need at least one core"
+        )
+    front_name, back_name = f"{name}-front", f"{name}-back"
+    for candidate in (front_name, back_name):
+        if any(n.name == candidate for n in graph.nodes):
+            raise GraphError(
+                f"split name {candidate!r} collides with an existing node"
+            )
+    front_cores = max(1, int(node.cores * ratio))
+    back_cores = node.cores - front_cores
+    front_service = node.service_us * ratio
+    front = replace(
+        node,
+        name=front_name,
+        service_us=front_service,
+        merge_us=0.0,
+        cores=front_cores,
+    )
+    back = replace(
+        node,
+        name=back_name,
+        # Subtraction (not service_us * (1 - ratio)) so the two halves
+        # sum back to the original exactly.
+        service_us=node.service_us - front_service,
+        cores=back_cores,
+    )
+    new_nodes: List[GraphNode] = []
+    for existing in graph.nodes:
+        if existing.name == name:
+            new_nodes.extend((front, back))
+        else:
+            new_nodes.append(existing)
+    new_edges: List[GraphEdge] = []
+    for e in graph.edges:
+        if e.dst == name:
+            new_edges.append(replace(e, dst=front_name))
+        elif e.src == name:
+            new_edges.append(replace(e, src=back_name))
+        else:
+            new_edges.append(e)
+    new_edges.append(GraphEdge(src=front_name, dst=back_name))
+    return replace(
+        graph,
+        nodes=tuple(new_nodes),
+        edges=tuple(new_edges),
+        root=front_name if graph.root == name else graph.root,
+    )
+
+
+def coarsen_once(graph: GraphConfig) -> GraphConfig:
+    """Merge the first mergeable edge in declaration order."""
+    for edge in graph.edges:
+        try:
+            return merge_edge(graph, edge.src, edge.dst)
+        except GraphError:
+            continue
+    raise GraphError(
+        f"graph {graph.name!r} has no mergeable edge among "
+        f"{len(graph.nodes)} node(s)"
+    )
+
+
+def monolith(graph: GraphConfig) -> GraphConfig:
+    """Coarsen all the way to a single-tier deployment.
+
+    Raises :class:`~repro.graph.config.GraphError` when the graph cannot
+    fully merge (e.g. the socialnet exemplar's async analytics edge has
+    no in-process equivalent).
+    """
+    current = graph
+    while len(current.nodes) > 1:
+        try:
+            current = coarsen_once(current)
+        except GraphError as err:
+            remaining = ", ".join(node.name for node in current.nodes)
+            raise GraphError(
+                f"graph {graph.name!r} cannot merge to a monolith; stuck at "
+                f"{len(current.nodes)} nodes ({remaining}): {err}"
+            ) from None
+    return current
+
+
+__all__ = [
+    "coarsen_once",
+    "merge_edge",
+    "monolith",
+    "split_node",
+    "work_per_query",
+]

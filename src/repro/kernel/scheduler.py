@@ -262,6 +262,10 @@ class Scheduler:
         # transferred onto each woken thread so its runqueue wait can be
         # attributed to those requests when it finally runs.
         self._pending_wake_riders = None
+        # Optional MachineEnergy account (repro.energy). Strictly passive:
+        # hooks below only observe the busy/idle transitions the scheduler
+        # already makes; None (the default) costs one comparison per switch.
+        self.energy = None
         self._handlers = {
             Compute: self._op_compute,
             AtomicAccess: self._op_atomic,
@@ -347,12 +351,18 @@ class Scheduler:
         if thread is None:
             if core.idle_since is None:
                 core.idle_since = self.sim._now
+                if self.energy is not None:
+                    self.energy.on_sleep(core.index, self.sim._now)
             return
         core.current = thread
         if core.idle_since is not None:
             idle_time = self.sim._now - core.idle_since
             exit_latency, _state = self.costs.cstate_exit_latency(idle_time)
             switch_cost = exit_latency + self.costs.runq_dispatch_us
+            if self.energy is not None:
+                self.energy.on_wake(
+                    core.index, core.idle_since, self.sim._now, _state
+                )
             core.idle_since = None
             # DVFS: the clock decayed toward minimum while the core idled.
             if self.costs.dvfs_enabled:
@@ -419,6 +429,8 @@ class Scheduler:
             self._dispatch(core)
         else:
             core.idle_since = self.sim._now
+            if self.energy is not None:
+                self.energy.on_sleep(core.index, self.sim._now)
 
     def _preempt(self, core: Core, thread: SimThread, remaining_compute: float) -> None:
         thread.pending_compute = remaining_compute

@@ -20,6 +20,7 @@ from repro.suite.config import (
     SCALES,
     BatchConfig,
     CacheConfig,
+    EnergyConfig,
     LbConfig,
     ServiceScale,
     TopologyConfig,
@@ -30,6 +31,7 @@ from repro.suite.registry import SERVICE_NAMES, build_service
 __all__ = [
     "BatchConfig",
     "CacheConfig",
+    "EnergyConfig",
     "LbConfig",
     "RunResult",
     "SCALES",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.control import Controller
+from repro.energy import EnergyAccount, EnergyConfig, EnergyReport
 from repro.kernel import Machine, MachineSpec, OsCosts
 from repro.kernel.scheduler import PlacementPolicy
 from repro.loadgen import ClosedLoopLoadGen, OpenLoopLoadGen, QuerySource
@@ -42,6 +43,7 @@ class SimCluster:
         reservoir_size: int = 100_000,
         faults=None,
         telemetry: Optional[TelemetryConfig] = None,
+        energy: Optional[EnergyConfig] = None,
     ):
         self.sim = Simulation()
         # Buffered mode (telemetry None or mode="buffered") constructs the
@@ -70,6 +72,14 @@ class SimCluster:
         # Closed-loop controllers (repro.control), one per controlled
         # service; empty unless a ControlConfig with enabled=True is built.
         self.controllers: List[Controller] = []
+        # Per-core energy accounting (repro.energy).  None (the default)
+        # constructs nothing and leaves every scheduler unhooked, so all
+        # pre-existing goldens stay byte-identical.
+        self.energy: Optional[EnergyAccount] = None
+        if energy is not None and energy.enabled:
+            self.energy = EnergyAccount(
+                energy, self.costs, telemetry=self.telemetry
+            )
 
     def machine(
         self,
@@ -100,6 +110,8 @@ class SimCluster:
                 machine.fault_injector = self.faults.leaf_injector(leaf_index, machine)
             elif role == "midtier":
                 self.faults.attach_midtier(machine)
+        if self.energy is not None:
+            machine.scheduler.energy = self.energy.add_machine(name, cores)
         self.machines.append(machine)
         return machine
 
@@ -289,6 +301,9 @@ class RunResult:
     midtier_names: List[str] = field(default_factory=list)
     # LoadBalancer.stats() snapshot, None for the single-replica topology.
     lb_stats: Optional[Dict[str, object]] = None
+    # Windowed EnergyReport, None unless the cluster was built with an
+    # enabled EnergyConfig; covers exactly the measured window above.
+    energy: Optional[EnergyReport] = None
 
     def __post_init__(self) -> None:
         if not self.midtier_names:
@@ -334,11 +349,21 @@ def run_open_loop(
     gen.start()
     cluster.run(until=start + warmup_us)
     cluster.telemetry.open_window(cluster.sim.now)
+    energy_start = (
+        cluster.energy.snapshot(cluster.sim.now)
+        if cluster.energy is not None else None
+    )
     sent_before = gen.sent
     completed_before = gen.completed
     cluster.run(until=start + warmup_us + duration_us)
     window_sent = gen.sent - sent_before
     window_completed = gen.completed - completed_before
+    # Snapshot before drain so the report covers the same window the
+    # latency metrics do (warm-up trimmed, drain excluded).
+    energy_end = (
+        cluster.energy.snapshot(cluster.sim.now)
+        if cluster.energy is not None else None
+    )
     gen.stop()
     cluster.run(until=start + warmup_us + duration_us + drain_us)
     cluster.fabric.unregister(gen.name)
@@ -357,6 +382,16 @@ def run_open_loop(
         midtier_name=service.midtier_name,
         midtier_names=service.midtier_names,
         lb_stats=service.frontend.stats() if service.frontend else None,
+        energy=(
+            EnergyReport.from_window(
+                cluster.energy.config,
+                energy_start,
+                energy_end,
+                completed=window_completed,
+                duration_us=duration_us,
+            )
+            if cluster.energy is not None else None
+        ),
     )
 
 
@@ -381,9 +416,17 @@ def run_closed_loop(
     gen.start()
     cluster.run(until=start + warmup_us)
     cluster.telemetry.open_window(cluster.sim.now)
+    energy_start = (
+        cluster.energy.snapshot(cluster.sim.now)
+        if cluster.energy is not None else None
+    )
     gen.open_window()
     cluster.run(until=start + warmup_us + duration_us)
     completed = gen._window_completed
+    energy_end = (
+        cluster.energy.snapshot(cluster.sim.now)
+        if cluster.energy is not None else None
+    )
     gen.stop()
     cluster.fabric.unregister(gen.name)
     telemetry = cluster.telemetry.finalized()
@@ -398,4 +441,14 @@ def run_closed_loop(
         midtier_name=service.midtier_name,
         midtier_names=service.midtier_names,
         lb_stats=service.frontend.stats() if service.frontend else None,
+        energy=(
+            EnergyReport.from_window(
+                cluster.energy.config,
+                energy_start,
+                energy_end,
+                completed=completed,
+                duration_us=duration_us,
+            )
+            if cluster.energy is not None else None
+        ),
     )

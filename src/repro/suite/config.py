@@ -18,19 +18,20 @@ algorithmic variation.
 Knobs are grouped into typed sub-configs — :class:`TopologyConfig`,
 :class:`LbConfig`, :class:`BatchConfig`, :class:`CacheConfig`,
 :class:`TraceConfig` — instead of one flat namespace.  The old flat
-keywords (``n_leaves=2``, ``batch_enable=True``, …) still work everywhere
-a :class:`ServiceScale` is constructed or copied, but emit
-``DeprecationWarning``; in-tree code uses only the nested form (enforced
-by the CI deprecation gate).
+keywords (``n_leaves=2``, ``batch_enable=True``, …) were deprecated with
+warnings for one release cycle and are now **removed**: constructing or
+copying a :class:`ServiceScale` with one raises ``TypeError`` naming the
+nested replacement, as does reading the old attribute.  The full
+alias → replacement table lives in DESIGN.md (§config migration).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import MISSING, asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional
 
 from repro.control.config import ControlConfig
+from repro.energy.config import EnergyConfig
 from repro.rpc.server import RuntimeConfig
 from repro.telemetry.config import TelemetryConfig
 
@@ -117,7 +118,9 @@ class TraceConfig:
             raise ValueError(f"top_k must be >= 1: {self.top_k}")
 
 
-#: Legacy flat keyword → (nested field, attribute within it).
+#: Removed flat keyword → (nested field, attribute within it).  Kept as
+#: data so the rejection messages (and DESIGN.md's migration table) name
+#: the exact replacement for each retired alias.
 _LEGACY_FIELDS: Dict[str, tuple] = {
     "n_leaves": ("topology", "n_leaves"),
     "leaf_cores": ("topology", "leaf_cores"),
@@ -149,18 +152,21 @@ _SUB_CONFIG_TYPES: Dict[str, type] = {
     "midtier_runtime": RuntimeConfig,
     "leaf_runtime": RuntimeConfig,
     "router_midtier_runtime": RuntimeConfig,
+    "energy": EnergyConfig,
 }
 
 
-def _warn_legacy(names) -> None:
-    listed = ", ".join(sorted(names))
-    warnings.warn(
-        f"flat ServiceScale keyword(s) deprecated: {listed}; use the nested "
-        "sub-configs (topology=TopologyConfig(...), lb=LbConfig(...), "
-        "batch=BatchConfig(...), cache=CacheConfig(...), "
-        "trace=TraceConfig(...))",
-        DeprecationWarning,
-        stacklevel=3,
+def _reject_legacy(names) -> None:
+    """Raise for retired flat keywords, naming each one's replacement."""
+    replacements = ", ".join(
+        f"{name} -> {_LEGACY_FIELDS[name][0]}.{_LEGACY_FIELDS[name][1]}"
+        for name in sorted(names)
+    )
+    raise TypeError(
+        f"flat ServiceScale keyword(s) were removed: {replacements}; pass "
+        "the nested sub-config instead (topology=TopologyConfig(...), "
+        "lb=LbConfig(...), batch=BatchConfig(...), cache=CacheConfig(...), "
+        "trace=TraceConfig(...)) — see DESIGN.md for the migration table"
     )
 
 
@@ -185,6 +191,10 @@ class ServiceScale:
     # committed golden stays byte-identical; "streaming" spills windowed
     # deltas to a JSONL stream at O(windows) resident memory.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    # Per-core energy accounting (repro.energy).  Off by default: no
+    # account is constructed, no scheduler hook fires, and every
+    # committed golden stays byte-identical.
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
 
     midtier_runtime: RuntimeConfig = field(
         default_factory=lambda: RuntimeConfig(
@@ -265,22 +275,14 @@ class ServiceScale:
                 value = f.default
             object.__setattr__(self, f.name, value)
         if legacy:
-            _warn_legacy(legacy)
-            per_owner: Dict[str, Dict[str, Any]] = {}
-            for key, value in legacy.items():
-                owner, sub = _LEGACY_FIELDS[key]
-                per_owner.setdefault(owner, {})[sub] = value
-            for owner, changes in per_owner.items():
-                object.__setattr__(
-                    self, owner, replace(getattr(self, owner), **changes)
-                )
+            _reject_legacy(legacy)
 
     def with_overrides(self, **kwargs: Any) -> "ServiceScale":
         """A copy with some fields replaced.
 
-        Accepts both canonical fields (``topology=...``, ``n_queries=...``)
-        and — deprecated — the legacy flat keywords (``n_leaves=...``,
-        ``batch_enable=...``), which fold into the matching sub-config.
+        Accepts canonical fields only (``topology=...``, ``n_queries=...``);
+        the retired flat keywords (``n_leaves=...``, ``batch_enable=...``)
+        raise ``TypeError`` naming the nested replacement.
         """
         return replace(self, **kwargs)
 
@@ -313,16 +315,13 @@ class ServiceScale:
 
 def _legacy_property(legacy_name: str, owner: str, sub: str):
     def getter(self):
-        warnings.warn(
-            f"ServiceScale.{legacy_name} is deprecated; read "
-            f"ServiceScale.{owner}.{sub}",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            f"ServiceScale.{legacy_name} was removed; read "
+            f"ServiceScale.{owner}.{sub}"
         )
-        return getattr(getattr(self, owner), sub)
 
     getter.__name__ = legacy_name
-    getter.__doc__ = f"Deprecated alias for ``{owner}.{sub}``."
+    getter.__doc__ = f"Removed alias — read ``{owner}.{sub}`` instead."
     return property(getter)
 
 
@@ -365,6 +364,7 @@ __all__ = [
     "BatchConfig",
     "CacheConfig",
     "ControlConfig",
+    "EnergyConfig",
     "LbConfig",
     "SCALES",
     "ServiceScale",

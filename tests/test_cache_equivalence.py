@@ -21,6 +21,8 @@ from repro.loadgen.client import _ClientBase
 from repro.midcache import CacheConfig, QueryCache
 from repro.rpc.message import RpcRequest
 from repro.suite import SCALES, SimCluster, build_service
+from repro.suite.config import BatchConfig
+from repro.suite.config import CacheConfig as ScaleCacheConfig
 
 
 class RecordingLoadGen(OpenLoopLoadGen):
@@ -96,11 +98,11 @@ def _assert_equivalent(service, base, fast):
 
 
 CONFIGS = {
-    "batch": dict(batch_enable=True, batch_max=8, batch_max_wait_us=50.0),
-    "cache": dict(cache_enable=True, cache_capacity=2048),
+    "batch": dict(batch=BatchConfig(enabled=True, max_batch=8, max_wait_us=50.0)),
+    "cache": dict(cache=ScaleCacheConfig(enabled=True, capacity=2048)),
     "batch+cache": dict(
-        batch_enable=True, batch_max=4, batch_max_wait_us=30.0,
-        cache_enable=True, cache_capacity=2048,
+        batch=BatchConfig(enabled=True, max_batch=4, max_wait_us=30.0),
+        cache=ScaleCacheConfig(enabled=True, capacity=2048),
     ),
 }
 
@@ -135,7 +137,8 @@ def test_ttl_expiry_still_equivalent_and_exercised():
     """
     base, _ = _run_config("router")
     fast, midtier = _run_config(
-        "router", cache_enable=True, cache_capacity=2048, cache_ttl_us=50_000.0,
+        "router",
+        cache=ScaleCacheConfig(enabled=True, capacity=2048, ttl_us=50_000.0),
     )
     _assert_equivalent("router", base.responses, fast.responses)
     stats = midtier.cache_stats()
@@ -147,7 +150,7 @@ def test_router_write_invalidation_exercised():
     """Router's YCSB-A sets must invalidate cached gets during the run."""
     base, _ = _run_config("router")
     fast, midtier = _run_config(
-        "router", cache_enable=True, cache_capacity=2048,
+        "router", cache=ScaleCacheConfig(enabled=True, capacity=2048),
     )
     _assert_equivalent("router", base.responses, fast.responses)
     stats = midtier.cache_stats()
@@ -176,7 +179,7 @@ def test_hedges_ride_the_batcher():
 
     _ClientBase._instances = 0
     scale = SCALES["unit"].with_overrides(
-        batch_enable=True, batch_max=8, batch_max_wait_us=50.0,
+        batch=BatchConfig(enabled=True, max_batch=8, max_wait_us=50.0),
     )
     cluster = SimCluster(seed=3)
     handle = build_service(

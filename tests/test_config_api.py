@@ -1,11 +1,11 @@
-"""The typed config tree: round-trips, legacy shims, and the public API.
+"""The typed config tree: round-trips, removed aliases, and the public API.
 
 The config redesign groups ServiceScale's knobs into frozen sub-configs
-(topology/lb/batch/cache/trace).  These tests pin the two compatibility
-contracts: ``to_dict``/``from_dict`` reconstruct a scale exactly, and the
-legacy flat keywords keep working — bit-for-bit equivalent to the nested
-form — while warning loudly enough for the CI deprecation gate to catch
-in-tree users.
+(topology/lb/batch/cache/trace/telemetry/energy).  These tests pin the
+two contracts: ``to_dict``/``from_dict`` reconstruct a scale exactly,
+and the retired flat keywords fail fast — constructing, overriding, or
+reading one raises ``TypeError`` naming the nested replacement (the
+migration table lives in DESIGN.md).
 """
 
 import warnings
@@ -16,6 +16,7 @@ from repro.suite import SCALES
 from repro.suite.config import (
     BatchConfig,
     CacheConfig,
+    EnergyConfig,
     LbConfig,
     ServiceScale,
     TopologyConfig,
@@ -55,36 +56,43 @@ def test_to_dict_is_plain_data():
     json.dumps(SCALES["small"].to_dict())  # must not raise
 
 
-# -- legacy flat keywords ----------------------------------------------------
+# -- removed flat keywords ---------------------------------------------------
 
-def test_legacy_constructor_kwargs_warn_and_match_nested():
-    with pytest.warns(DeprecationWarning, match="n_leaves"):
-        legacy = ServiceScale(name="t", n_leaves=2, batch_enable=True,
-                              cache_capacity=99)
-    nested = ServiceScale(
-        name="t",
-        topology=TopologyConfig(n_leaves=2),
-        batch=BatchConfig(enabled=True),
-        cache=CacheConfig(capacity=99),
-    )
-    assert legacy == nested
+def test_removed_constructor_kwargs_raise_naming_replacement():
+    with pytest.raises(TypeError, match="n_leaves -> topology.n_leaves"):
+        ServiceScale(name="t", n_leaves=2)
+    # Several retired keywords at once: all named, each with its target.
+    with pytest.raises(TypeError, match="batch_enable -> batch.enabled"):
+        ServiceScale(name="t", batch_enable=True, cache_capacity=99)
+    with pytest.raises(TypeError, match="DESIGN.md"):
+        ServiceScale(name="t", cache_capacity=99)
 
 
-def test_legacy_with_overrides_folds_into_sub_config():
-    with pytest.warns(DeprecationWarning, match="lb_policy"):
-        shimmed = SCALES["unit"].with_overrides(lb_policy="random")
+def test_removed_with_overrides_kwargs_raise():
+    with pytest.raises(TypeError, match="lb_policy -> lb.policy"):
+        SCALES["unit"].with_overrides(lb_policy="random")
+    # The nested spelling is the only way through.
     nested = SCALES["unit"].with_overrides(lb=LbConfig(policy="random"))
-    assert shimmed == nested
-    # Untouched sub-configs survive the fold.
-    assert shimmed.topology == SCALES["unit"].topology
+    assert nested.lb.policy == "random"
+    assert nested.topology == SCALES["unit"].topology
 
 
-def test_legacy_attribute_reads_warn_and_alias():
+def test_removed_attribute_reads_raise():
     scale = SCALES["unit"]
-    with pytest.warns(DeprecationWarning, match="topology.n_leaves"):
-        assert scale.n_leaves == scale.topology.n_leaves
-    with pytest.warns(DeprecationWarning, match="cache.capacity"):
-        assert scale.cache_capacity == scale.cache.capacity
+    with pytest.raises(TypeError, match="ServiceScale.topology.n_leaves"):
+        scale.n_leaves
+    with pytest.raises(TypeError, match="ServiceScale.cache.capacity"):
+        scale.cache_capacity
+
+
+def test_energy_sub_config_rides_the_tree():
+    scale = SCALES["unit"].with_overrides(energy=EnergyConfig(enabled=True))
+    assert scale.energy.enabled is True
+    rebuilt = ServiceScale.from_dict(scale.to_dict())
+    assert rebuilt == scale
+    assert isinstance(rebuilt.energy, EnergyConfig)
+    # The default is off, keeping every committed golden byte-identical.
+    assert SCALES["unit"].energy.enabled is False
 
 
 def test_nested_construction_does_not_warn():
@@ -114,7 +122,11 @@ def test_repro_package_exports_the_stable_api():
     import repro
 
     for name in ("build_cluster", "run_experiment", "ServiceScale",
-                 "TraceConfig", "SCALES", "Tracer", "attribute"):
+                 "TraceConfig", "SCALES", "Tracer", "attribute",
+                 # PR 10: the energy account and granularity transforms.
+                 "EnergyAccount", "EnergyConfig", "EnergyReport",
+                 "attribution_energy", "pipeline_graph", "merge_edge",
+                 "split_node", "monolith", "work_per_query"):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
 

@@ -106,10 +106,14 @@ def test_serialization_delay_scales_with_size():
 # -- ServiceScale / registry --------------------------------------------------------
 
 def test_scale_with_overrides_preserves_rest():
-    scale = SCALES["unit"].with_overrides(n_leaves=3)
-    assert scale.n_leaves == 3
+    from dataclasses import replace
+
+    scale = SCALES["unit"].with_overrides(
+        topology=replace(SCALES["unit"].topology, n_leaves=3),
+    )
+    assert scale.topology.n_leaves == 3
     assert scale.hds_points == SCALES["unit"].hds_points
-    assert SCALES["unit"].n_leaves == 2  # original untouched
+    assert SCALES["unit"].topology.n_leaves == 2  # original untouched
 
 
 def test_all_scales_have_all_service_targets():

@@ -11,7 +11,7 @@ client's RNG stream), so each cell pins it before building its cluster.
 The cells use short windows so the guard stays cheap enough for tier 1.
 """
 
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import pytest
 
@@ -20,6 +20,7 @@ from repro.experiments.characterize import characterize
 from repro.experiments.scale_sweep import measure_load_point
 from repro.loadgen.client import _ClientBase
 from repro.suite import SCALES
+from repro.suite.config import LbConfig
 
 
 def _characterize_cell(service: str, qps: float):
@@ -107,7 +108,10 @@ def test_hdsearch_goldens_hold_through_streaming_telemetry():
 # counter itself, so each call is a hermetic cell.
 
 def _scaleout_point(policy: str):
-    scale = SCALES["unit"].with_overrides(midtier_replicas=3, lb_policy=policy)
+    scale = SCALES["unit"].with_overrides(
+        topology=replace(SCALES["unit"].topology, midtier_replicas=3),
+        lb=LbConfig(policy=policy),
+    )
     return measure_load_point(
         "hdsearch", scale, qps=1500.0, seed=0,
         duration_us=150_000.0, warmup_us=100_000.0,

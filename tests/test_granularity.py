@@ -1,0 +1,231 @@
+"""Granularity transforms: work conservation and precondition guards.
+
+merge_edge/split_node/coarsen_once/monolith walk a graph along the
+tier-granularity axis; the contract is that ``work_per_query`` (and the
+total core count) never changes, and that any edge whose merge would
+change call semantics is refused with a GraphError naming the obstacle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    GraphConfig,
+    GraphEdge,
+    GraphError,
+    GraphNode,
+    coarsen_once,
+    merge_edge,
+    monolith,
+    split_node,
+    work_per_query,
+)
+from repro.graph.exemplar import exemplar_graph, onehop_graph, pipeline_graph
+from repro.suite.config import CacheConfig
+
+
+def _total_cores(graph):
+    return sum(node.cores for node in graph.nodes)
+
+
+# -- conservation ------------------------------------------------------------
+
+def test_pipeline_monolith_conserves_work_and_cores():
+    graph = pipeline_graph(5)
+    mono = monolith(graph)
+    assert len(mono.nodes) == 1
+    assert work_per_query(mono) == pytest.approx(work_per_query(graph))
+    assert _total_cores(mono) == _total_cores(graph)
+    # A monolith charges no merge work: it all folded into service.
+    assert mono.nodes[0].merge_us == 0.0
+    assert mono.root == mono.nodes[0].name
+
+
+def test_coarsen_once_steps_preserve_work():
+    graph = pipeline_graph(4)
+    work = work_per_query(graph)
+    while len(graph.nodes) > 1:
+        graph = coarsen_once(graph)
+        assert work_per_query(graph) == pytest.approx(work)
+        assert _total_cores(graph) == pytest.approx(8)
+
+
+def test_merge_fanout_scales_callee_work():
+    graph = GraphConfig(
+        name="fan",
+        root="mid",
+        nodes=(
+            GraphNode("mid", service_us=15.0, merge_us=5.0, cores=2),
+            GraphNode("leaf", service_us=30.0, merge_us=0.0, cores=4),
+        ),
+        edges=(GraphEdge("mid", "leaf", fanout=4),),
+    )
+    merged = merge_edge(graph, "mid", "leaf")
+    assert len(merged.nodes) == 1
+    node = merged.nodes[0]
+    assert node.name == "mid+leaf"
+    assert node.cores == 6
+    # The merged tier became a leaf, so merge work folded into service:
+    # 15 + 4 visits x 30, plus the 5 us of now-unreachable merge work.
+    assert node.merge_us == 0.0
+    assert node.service_us == pytest.approx(15.0 + 4 * 30.0 + 5.0)
+    assert work_per_query(merged) == pytest.approx(work_per_query(graph))
+
+
+def test_split_is_inverse_of_merge_up_to_naming():
+    graph = pipeline_graph(3)
+    work = work_per_query(graph)
+    split = split_node(graph, "stage1", ratio=0.4)
+    assert work_per_query(split) == pytest.approx(work)
+    assert _total_cores(split) == _total_cores(graph)
+    # The bridge edge is sync with fanout 1, and the root is untouched.
+    bridge = next(e for e in split.edges if e.src == "stage1-front")
+    assert bridge.dst == "stage1-back" and bridge.mode == "sync"
+    assert split.root == "stage0"
+    # Merging the pair back restores the original work split exactly.
+    remerged = merge_edge(split, "stage1-front", "stage1-back")
+    assert work_per_query(remerged) == pytest.approx(work)
+    assert remerged.node("stage1-front+stage1-back").service_us == (
+        pytest.approx(graph.node("stage1").service_us)
+    )
+
+
+def test_split_root_redirects_entry_point():
+    split = split_node(pipeline_graph(2), "stage0", ratio=0.5)
+    assert split.root == "stage0-front"
+    assert work_per_query(split) == pytest.approx(
+        work_per_query(pipeline_graph(2))
+    )
+
+
+@given(
+    tiers=st.integers(min_value=2, max_value=6),
+    service=st.floats(min_value=1.0, max_value=200.0),
+    merge=st.floats(min_value=0.0, max_value=25.0),
+    ratio=st.floats(min_value=0.05, max_value=0.95),
+    stage=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=50)
+def test_split_preserves_work_for_any_ratio(tiers, service, merge, ratio, stage):
+    graph = pipeline_graph(tiers, service_us=service, merge_us=merge)
+    name = f"stage{stage % tiers}"
+    split = split_node(graph, name, ratio=ratio)
+    assert work_per_query(split) == pytest.approx(work_per_query(graph))
+    assert _total_cores(split) == _total_cores(graph)
+
+
+@given(tiers=st.integers(min_value=1, max_value=6))
+@settings(max_examples=20)
+def test_monolith_of_any_pipeline_conserves_work(tiers):
+    graph = pipeline_graph(tiers)
+    mono = monolith(graph)
+    assert len(mono.nodes) == 1
+    assert work_per_query(mono) == pytest.approx(work_per_query(graph))
+
+
+def test_socialnet_coarsens_until_the_async_edge():
+    graph = exemplar_graph()
+    work = work_per_query(graph)
+    steps = 0
+    while True:
+        try:
+            graph = coarsen_once(graph)
+        except GraphError:
+            break
+        steps += 1
+        assert work_per_query(graph) == pytest.approx(work)
+    assert steps > 0
+    assert len(graph.nodes) > 1  # the async analytics edge blocks full merge
+
+
+# -- precondition guards -----------------------------------------------------
+
+def _diamond():
+    """a fans out to b and c, which both call the shared leaf d."""
+    return GraphConfig(
+        name="diamond",
+        root="a",
+        nodes=(
+            GraphNode("a"), GraphNode("b"),
+            GraphNode("c"), GraphNode("d", merge_us=0.0),
+        ),
+        edges=(
+            GraphEdge("a", "b"), GraphEdge("a", "c"),
+            GraphEdge("b", "d"), GraphEdge("c", "d"),
+        ),
+    )
+
+
+def test_merge_refuses_missing_edge():
+    with pytest.raises(GraphError, match="no edge"):
+        merge_edge(pipeline_graph(3), "stage0", "stage2")
+
+
+def test_merge_refuses_async_edge():
+    graph = exemplar_graph()
+    edge = next(e for e in graph.edges if e.mode == "async")
+    with pytest.raises(GraphError, match="async"):
+        merge_edge(graph, edge.src, edge.dst)
+
+
+def test_merge_refuses_shared_callee():
+    with pytest.raises(GraphError, match="other caller"):
+        merge_edge(_diamond(), "b", "d")
+
+
+def test_merge_refuses_duplicate_lifted_pair():
+    # Merging a->b lifts b's call to d, but a reaches d through c too —
+    # one more merge of a+b->c would then duplicate the (src, dst) pair.
+    merged = merge_edge(_diamond(), "a", "b")
+    with pytest.raises(GraphError, match="duplicate"):
+        merge_edge(merged, "a+b", "c")
+
+
+def test_merge_refuses_terminal_with_merge_work():
+    # onehop's store leaf keeps the default merge_us=5.0 (never charged
+    # by the builder), so folding it in would invent work out of thin
+    # air — the transform must refuse rather than guess.
+    with pytest.raises(GraphError, match="never charges merge work"):
+        merge_edge(onehop_graph(), "gateway", "store")
+
+
+def test_merge_refuses_replicated_and_non_default_tiers():
+    replicated = GraphConfig(
+        name="repl",
+        root="mid",
+        nodes=(GraphNode("mid"), GraphNode("leaf", merge_us=0.0, replicas=2)),
+        edges=(GraphEdge("mid", "leaf"),),
+    )
+    with pytest.raises(GraphError, match="replicas=2"):
+        merge_edge(replicated, "mid", "leaf")
+    cached = GraphConfig(
+        name="cached",
+        root="mid",
+        nodes=(
+            GraphNode("mid"),
+            GraphNode(
+                "leaf", merge_us=0.0,
+                cache=CacheConfig(enabled=True, capacity=64),
+            ),
+        ),
+        edges=(GraphEdge("mid", "leaf"),),
+    )
+    with pytest.raises(GraphError, match="non-default cache"):
+        merge_edge(cached, "mid", "leaf")
+
+
+def test_split_refuses_bad_ratio_and_small_nodes():
+    graph = pipeline_graph(2)
+    with pytest.raises(GraphError, match="ratio"):
+        split_node(graph, "stage0", ratio=1.0)
+    with pytest.raises(GraphError, match="no node"):
+        split_node(graph, "nowhere")
+    single_core = pipeline_graph(2, cores_per_tier=1)
+    with pytest.raises(GraphError, match="at least one core"):
+        split_node(single_core, "stage0")
+
+
+def test_monolith_reports_where_it_got_stuck():
+    with pytest.raises(GraphError, match="stuck at"):
+        monolith(exemplar_graph())
